@@ -1,0 +1,157 @@
+//! Fig. 12: query optimization with LSS (§6.6) — GHD plan selection
+//! costed by the AGM bound vs by the learned sketch, compared on the true
+//! plan cost `max_i |R_{τ_i}|`.
+//!
+//! Run: `cargo run -p alss-bench --bin fig12 --release [datasets...]`
+
+use alss_bench::scenario::{bench_model_config, bench_train_config, load_scenario, per_size, selected_datasets};
+use alss_bench::table::fnum;
+use alss_bench::TableWriter;
+use alss_core::encode::EncodingKind;
+use alss_core::workload::{LabeledQuery, Workload};
+use alss_core::{LearnedSketch, SketchConfig};
+use alss_datasets::queries::{assign_pattern_labels, unlabeled_patterns};
+use alss_ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
+use alss_ghd::enumerate_ghds;
+use alss_graph::io::to_text;
+use alss_graph::labels::LabelStats;
+use alss_matching::{count_homomorphisms, Budget, Semantics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    for name in selected_datasets(&["yeast", "wordnet", "eu2005"]) {
+        let sc = load_scenario(&name, Semantics::Homomorphism);
+        let stats = LabelStats::new(&sc.data);
+        let mut rng = SmallRng::seed_from_u64(12);
+
+        // training workload: 3- and 4-node patterns with random labels
+        // (the paper: 202 3-node + 608 4-node)
+        // Few distinct unlabeled 3/4-node *shapes* exist; the paper's 202+608
+        // training queries are distinct *labelings*. Draw random labelings
+        // of a small shape pool, dedup at the labeled level.
+        let mut train_queries = Vec::new();
+        let mut seen_train = std::collections::HashSet::new();
+        // sample training labels from the empirical label distribution —
+        // uniform labels at compressed scale are almost always zero-count,
+        // leaving the cost model nothing to learn from
+        let node_count = sc.data.num_nodes();
+        let random_label = |rng: &mut SmallRng| {
+            sc.data.label(rng.gen_range(0..node_count) as u32)
+        };
+        for (size, want) in [(3usize, per_size() * 2), (4, per_size() * 4)] {
+            let shapes = unlabeled_patterns(&sc.data, size, 20, 0x126 + size as u64);
+            if shapes.is_empty() {
+                continue;
+            }
+            let mut labeled = 0usize;
+            let mut attempts = 0usize;
+            while labeled < want && attempts < want * 10 {
+                attempts += 1;
+                let p = &shapes[rng.gen_range(0..shapes.len())];
+                let mut b = alss_graph::GraphBuilder::new(p.num_nodes());
+                for v in p.nodes() {
+                    let l = random_label(&mut rng);
+                    b.set_label(v, l);
+                }
+                for e in p.edges() {
+                    b.add_edge(e.u, e.v);
+                }
+                let q = b.build();
+                if !seen_train.insert(to_text(&q)) {
+                    continue;
+                }
+                if let Ok(c) = count_homomorphisms(&sc.data, &q, &Budget::new(100_000_000)) {
+                    train_queries.push(LabeledQuery::new(q, c.max(1)));
+                    labeled += 1;
+                }
+            }
+        }
+        let train = Workload::from_queries(train_queries);
+        if train.len() < 20 {
+            println!("== Fig 12 [{name}]: too few labeled training patterns, skipped ==");
+            continue;
+        }
+        let cfg = SketchConfig {
+            // embedding features fit the random-label cost-model workload
+            // far better than frequency features (see DESIGN.md centering
+            // note + the Fig 4 encoder comparison)
+            encoding: EncodingKind::Embedding,
+            hops: 3,
+            model: bench_model_config(),
+            train: bench_train_config(),
+            prone_dim: 32,
+            seed: 0x12,
+        };
+        let (sketch, _) = LearnedSketch::train(&sc.data, &train, &cfg);
+        let rel_index = RelationIndex::new(&sc.data);
+
+        // test patterns: 4- and 5-node unlabeled, labels varied by
+        // #frequent-labeled nodes
+        let mut tested = 0usize;
+        let mut lss_wins = 0usize;
+        let mut agm_wins = 0usize;
+        let mut ties = 0usize;
+        let mut log_ratio_sum = 0.0f64; // log10(agm_true / lss_true)
+        let mut best_improvement = 0.0f64;
+        let mut seen = std::collections::HashSet::new();
+        let mut t = TableWriter::new(&["size", "freq", "true cost (AGM plan)", "true cost (LSS plan)"]);
+
+        for size in [4usize, 5] {
+            let pats = unlabeled_patterns(&sc.data, size, 6, 0x512 + size as u64);
+            for p in pats {
+                for freq in 0..=size {
+                    let q = assign_pattern_labels(&p, &stats, freq, &mut rng);
+                    if !seen.insert(to_text(&q)) {
+                        continue;
+                    }
+                    let decomps = enumerate_ghds(&q, 3);
+                    if decomps.len() < 2 {
+                        continue;
+                    }
+                    let agm_pick = choose_plan(&q, &decomps, |bq| agm_cost(&rel_index, bq));
+                    let lss_pick = choose_plan(&q, &decomps, |bq| sketch.estimate(bq));
+                    let budget = Budget::new(50_000_000);
+                    let (Some(ca), Some(cl)) = (
+                        true_cost(&sc.data, &q, &decomps[agm_pick.index], &budget),
+                        true_cost(&sc.data, &q, &decomps[lss_pick.index], &budget),
+                    ) else {
+                        continue;
+                    };
+                    tested += 1;
+                    let (ca, cl) = (ca.max(1) as f64, cl.max(1) as f64);
+                    match cl.partial_cmp(&ca).unwrap() {
+                        std::cmp::Ordering::Less => lss_wins += 1,
+                        std::cmp::Ordering::Greater => agm_wins += 1,
+                        std::cmp::Ordering::Equal => ties += 1,
+                    }
+                    let r = (ca / cl).log10();
+                    log_ratio_sum += r;
+                    if r > best_improvement {
+                        best_improvement = r;
+                    }
+                    if tested <= 24 {
+                        t.row(vec![
+                            size.to_string(),
+                            freq.to_string(),
+                            fnum(ca),
+                            fnum(cl),
+                        ]);
+                    }
+                }
+            }
+        }
+        println!("\n== Fig 12 [{name}]: GHD plan cost, AGM vs LSS ({tested} labeled patterns) ==\n");
+        t.print();
+        if tested > 0 {
+            println!(
+                "\nsummary: LSS better {lss_wins}, AGM better {agm_wins}, tie {ties}; \
+                 mean log10(AGM/LSS true cost) = {:.2}; best improvement = {:.1} orders",
+                log_ratio_sum / tested as f64,
+                best_improvement
+            );
+        }
+    }
+    println!("\nexpected shape (paper): LSS recommends plans up to 3-4 orders cheaper on");
+    println!("yeast/wordnet; AGM competitive only when most labels are frequent (near-unlabeled).");
+}

@@ -1,0 +1,44 @@
+//! # alss-core
+//!
+//! The primary contribution of *A Learned Sketch for Subgraph Counting*
+//! (Zhao et al., SIGMOD 2021), implemented from scratch in Rust: **LSS**, a
+//! neural-network regression sketch for subgraph counting over large
+//! labeled graphs, and **AL**, its specialized active learner (together:
+//! **ALSS**).
+//!
+//! Pipeline (Fig. 2 / Algorithm 1):
+//!
+//! 1. [`alss_graph::decompose`] a query into per-node 3-hop BFS-tree
+//!    substructures;
+//! 2. [`encode`] each substructure — frequency-based, pre-trained-embedding
+//!    (ProNE on the label-augmented graph), or concatenated features, with
+//!    the Eq. (4) edge-label extension;
+//! 3. a GIN encoder produces per-substructure representations
+//!    (`σ(·)` of Eq. 2), structured self-attention learns query-specific
+//!    weights (`w(·)`), and a multi-task MLP emits `log10 c_Θ(q)` plus a
+//!    count-magnitude posterior (`φ(·)` + §5's auxiliary classifier) —
+//!    [`model`];
+//! 4. training minimizes Eq. (6) = (1−λ)·MSE-log + λ·cross-entropy with
+//!    Adam — [`train`];
+//! 5. the active learner scores unlabeled test queries with
+//!    CON/MAR/ENT/CTC uncertainty and fine-tunes on the selected batch —
+//!    [`active`], [`sketch::active_round`].
+//!
+//! The one-call facade is [`sketch::LearnedSketch`]; accuracy metrics
+//! (q-error, Eq. 1) live in [`metrics`].
+
+pub mod active;
+pub mod encode;
+pub mod metrics;
+pub mod model;
+pub mod sketch;
+pub mod train;
+pub mod workload;
+
+pub use active::{select_batch, uncertainty, LssEnsemble, Strategy};
+pub use encode::{EncodedQuery, Encoder, EncodingKind};
+pub use metrics::{l1_log_error, q_error, QErrorStats};
+pub use model::{LssConfig, LssModel, Prediction};
+pub use sketch::{active_round, ActiveRoundReport, LearnedSketch, PoolItem, SketchConfig};
+pub use train::{encode_workload, evaluate, train_model, TrainConfig, TrainReport};
+pub use workload::{LabeledQuery, Workload};

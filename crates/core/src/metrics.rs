@@ -1,0 +1,129 @@
+//! Evaluation metrics: q-error (Eq. 1) and its distribution statistics,
+//! plus the L1 log loss used in Fig. 10.
+
+use serde::{Deserialize, Serialize};
+
+/// q-error (Eq. 1): `max(c/ĉ, ĉ/c)` with both counts clamped to ≥ 1.
+pub fn q_error(true_count: f64, est_count: f64) -> f64 {
+    let c = true_count.max(1.0);
+    let e = est_count.max(1.0);
+    (c / e).max(e / c)
+}
+
+/// `|log10 c − log10 ĉ|`, the per-query L1 loss of Fig. 10(b).
+pub fn l1_log_error(true_count: f64, est_count: f64) -> f64 {
+    (true_count.max(1.0).log10() - est_count.max(1.0).log10()).abs()
+}
+
+/// Distribution summary of q-errors over a query set, matching the
+/// box-plot statistics of Figs. 4/6/7/11.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QErrorStats {
+    /// Number of queries aggregated.
+    pub count: usize,
+    /// Minimum q-error.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum q-error.
+    pub max: f64,
+    /// Geometric mean (the quantity Eq. 3 minimizes).
+    pub geo_mean: f64,
+    /// Mean of `|log10 c − log10 ĉ|`.
+    pub l1_log: f64,
+}
+
+impl QErrorStats {
+    /// Summarize `(true, estimated)` count pairs. Returns `None` for an
+    /// empty input.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Option<Self> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut qs: Vec<f64> = pairs.iter().map(|&(c, e)| q_error(c, e)).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| -> f64 {
+            let idx = (p * (qs.len() - 1) as f64).round() as usize;
+            qs[idx]
+        };
+        let geo = (qs.iter().map(|q| q.ln()).sum::<f64>() / qs.len() as f64).exp();
+        let l1 = pairs
+            .iter()
+            .map(|&(c, e)| l1_log_error(c, e))
+            .sum::<f64>()
+            / pairs.len() as f64;
+        Some(QErrorStats {
+            count: qs.len(),
+            min: qs[0],
+            p25: pct(0.25),
+            median: pct(0.5),
+            p75: pct(0.75),
+            p95: pct(0.95),
+            max: *qs.last().expect("non-empty"),
+            geo_mean: geo,
+            l1_log: l1,
+        })
+    }
+
+    /// One-line rendering used by the bench binaries.
+    pub fn render(&self) -> String {
+        format!(
+            "n={:<4} min={:<8.2} p25={:<8.2} med={:<8.2} p75={:<8.2} p95={:<10.2} max={:<12.2} gmean={:<8.2}",
+            self.count, self.min, self.p25, self.median, self.p75, self.p95, self.max, self.geo_mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_symmetry_and_floor() {
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+        // clamping: estimate 0 treated as 1
+        assert_eq!(q_error(50.0, 0.0), 50.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn l1_log_error_is_log_scale() {
+        assert!((l1_log_error(1000.0, 10.0) - 2.0).abs() < 1e-12);
+        assert_eq!(l1_log_error(7.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn stats_quantiles_ordered() {
+        let pairs: Vec<(f64, f64)> = (1..=100)
+            .map(|i| (100.0, 100.0 * i as f64 / 10.0))
+            .collect();
+        let s = QErrorStats::from_pairs(&pairs).unwrap();
+        assert_eq!(s.count, 100);
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.max);
+        assert!(s.geo_mean >= 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(QErrorStats::from_pairs(&[]).is_none());
+    }
+
+    #[test]
+    fn perfect_estimates_have_unit_stats() {
+        let pairs = vec![(10.0, 10.0); 5];
+        let s = QErrorStats::from_pairs(&pairs).unwrap();
+        assert_eq!(s.median, 1.0);
+        assert_eq!(s.max, 1.0);
+        assert!((s.geo_mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.l1_log, 0.0);
+    }
+}

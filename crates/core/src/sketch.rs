@@ -1,0 +1,375 @@
+//! The public facade: a trained **learned sketch** (encoder + model) with
+//! one-call construction from a data graph and workload, plus the full
+//! active-learning loop of §5 (ALSS = LSS + AL).
+
+use crate::active::{select_batch, Strategy};
+use crate::encode::{EncodedQuery, Encoder, EncodingKind};
+use crate::model::{LssConfig, LssModel, Prediction};
+use crate::train::{
+    encode_workload, finetune_model, train_model, EncodedItem, TrainConfig, TrainReport,
+};
+use crate::workload::Workload;
+use alss_embedding::prone::ProneConfig;
+use alss_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// End-to-end configuration for building a sketch.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SketchConfig {
+    /// Node-encoding variant (LSS-fre / LSS-emb / LSS-con).
+    pub encoding: EncodingKind,
+    /// BFS-tree decomposition depth (paper: 3).
+    pub hops: u32,
+    /// Model architecture.
+    pub model: LssConfig,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// ProNE pre-training settings (embedding encodings only).
+    pub prone_dim: usize,
+    /// Seed for initialization and pre-training.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            encoding: EncodingKind::Embedding,
+            hops: 3,
+            model: LssConfig::default(),
+            train: TrainConfig::default(),
+            prone_dim: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl SketchConfig {
+    /// Small/fast settings for tests and examples.
+    pub fn tiny() -> Self {
+        SketchConfig {
+            encoding: EncodingKind::Frequency,
+            hops: 3,
+            model: LssConfig::tiny(),
+            train: TrainConfig::quick(30),
+            prone_dim: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// A trained learned sketch: everything needed to answer
+/// `estimate(query) → count`.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LearnedSketch {
+    encoder: Encoder,
+    model: LssModel,
+}
+
+impl LearnedSketch {
+    /// Reassemble a sketch from a pre-built encoder and model (e.g. after
+    /// deserializing the parts separately).
+    pub fn from_parts(encoder: Encoder, model: LssModel) -> Self {
+        LearnedSketch { encoder, model }
+    }
+
+    /// Serialize the whole sketch (encoder statistics, pre-trained label
+    /// embedding, and model weights) to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize a sketch saved with [`LearnedSketch::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Persist the sketch to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a sketch persisted with [`LearnedSketch::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Build the encoder for a data graph per the configuration.
+    pub fn build_encoder(data: &Graph, cfg: &SketchConfig) -> Encoder {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let prone = ProneConfig {
+            dim: cfg.prone_dim,
+            ..Default::default()
+        };
+        match cfg.encoding {
+            EncodingKind::Frequency => Encoder::frequency(data, cfg.hops),
+            EncodingKind::Embedding => Encoder::embedding(data, cfg.hops, &prone, &mut rng),
+            EncodingKind::Concatenated => {
+                Encoder::concatenated(data, cfg.hops, &prone, &mut rng)
+            }
+        }
+    }
+
+    /// Train a sketch offline on a labeled workload (Fig. 1's left side).
+    pub fn train(data: &Graph, workload: &Workload, cfg: &SketchConfig) -> (Self, TrainReport) {
+        let encoder = Self::build_encoder(data, cfg);
+        Self::train_with_encoder(encoder, workload, cfg)
+    }
+
+    /// Train with a pre-built encoder (lets callers share one embedding
+    /// pre-training across several models, as the ensemble baseline does).
+    pub fn train_with_encoder(
+        encoder: Encoder,
+        workload: &Workload,
+        cfg: &SketchConfig,
+    ) -> (Self, TrainReport) {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+        let mut model = LssModel::new(cfg.model, encoder.node_dim(), encoder.edge_dim(), &mut rng);
+        let items = encode_workload(&encoder, workload);
+        let report = train_model(&mut model, &items, &cfg.train);
+        (LearnedSketch { encoder, model }, report)
+    }
+
+    /// The feature encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &LssModel {
+        &self.model
+    }
+
+    /// Mutable model access (active learning).
+    pub fn model_mut(&mut self) -> &mut LssModel {
+        &mut self.model
+    }
+
+    /// Encode a query for repeated prediction.
+    pub fn encode(&self, q: &Graph) -> EncodedQuery {
+        self.encoder.encode_query(q)
+    }
+
+    /// Full prediction (count + magnitude posterior).
+    pub fn predict(&self, q: &Graph) -> Prediction {
+        self.model.predict(&self.encode(q))
+    }
+
+    /// Estimated count `ĉ(q)` in linear scale (≥ 1).
+    pub fn estimate(&self, q: &Graph) -> f64 {
+        self.predict(q).count()
+    }
+}
+
+/// One unlabeled pool item of the active learner.
+pub struct PoolItem {
+    /// The raw query graph (handed to the labeling oracle).
+    pub graph: Graph,
+    /// Its cached encoding.
+    pub encoded: EncodedQuery,
+}
+
+/// Outcome of one AL round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActiveRoundReport {
+    /// Queries selected and labeled this round.
+    pub labeled: usize,
+    /// Queries the oracle could not label (budget) — dropped from the pool.
+    pub dropped: usize,
+    /// Fine-tuning report.
+    pub train: TrainReport,
+}
+
+/// Run one uncertainty-sampling round (§5 steps ①–④): score the pool,
+/// sample `budget` queries, label them with `oracle`, move them into
+/// `train_items`, and fine-tune the model on the enlarged training set.
+#[allow(clippy::too_many_arguments)] // the §5 loop genuinely has this arity
+pub fn active_round<R: Rng>(
+    sketch: &mut LearnedSketch,
+    train_items: &mut Vec<EncodedItem>,
+    pool: &mut Vec<PoolItem>,
+    mut oracle: impl FnMut(&Graph) -> Option<u64>,
+    strategy: Strategy,
+    budget: usize,
+    finetune: &TrainConfig,
+    round: u64,
+    rng: &mut R,
+) -> ActiveRoundReport {
+    let encoded: Vec<EncodedQuery> = pool.iter().map(|p| p.encoded.clone()).collect();
+    let mut selected = select_batch(&sketch.model, &encoded, strategy, budget, rng);
+    selected.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+    let mut labeled = 0usize;
+    let mut dropped = 0usize;
+    for idx in selected {
+        let item = pool.swap_remove(idx);
+        match oracle(&item.graph) {
+            Some(count) => {
+                train_items.push((item.encoded, count));
+                labeled += 1;
+            }
+            None => {
+                dropped += 1;
+            }
+        }
+    }
+    let train = finetune_model(&mut sketch.model, train_items, finetune, round);
+    ActiveRoundReport {
+        labeled,
+        dropped,
+        train,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::LabeledQuery;
+    use alss_graph::builder::graph_from_edges;
+    use alss_matching::{count_homomorphisms, Budget};
+
+    fn data_graph() -> Graph {
+        graph_from_edges(
+            &[0, 0, 1, 1, 2, 2],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 3)],
+        )
+    }
+
+    fn real_workload(data: &Graph) -> Workload {
+        // label real path/triangle queries with exact counts
+        let mut qs = Vec::new();
+        let shapes: Vec<(Vec<u32>, Vec<(u32, u32)>)> = vec![
+            (vec![0, 0], vec![(0, 1)]),
+            (vec![0, 1], vec![(0, 1)]),
+            (vec![1, 1], vec![(0, 1)]),
+            (vec![1, 2], vec![(0, 1)]),
+            (vec![2, 2], vec![(0, 1)]),
+            (vec![0, 1, 2], vec![(0, 1), (1, 2)]),
+            (vec![0, 0, 1], vec![(0, 1), (1, 2)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2)]),
+            (vec![0, 1, 1], vec![(0, 1), (1, 2)]),
+            (vec![2, 0, 1], vec![(0, 1), (1, 2)]),
+        ];
+        for (labels, edges) in shapes {
+            let g = graph_from_edges(&labels, &edges);
+            let c = count_homomorphisms(data, &g, &Budget::unlimited()).unwrap();
+            qs.push(LabeledQuery::new(g, c.max(1)));
+        }
+        Workload::from_queries(qs)
+    }
+
+    #[test]
+    fn sketch_trains_and_estimates() {
+        let d = data_graph();
+        let w = real_workload(&d);
+        let cfg = SketchConfig::tiny();
+        let (sketch, report) = LearnedSketch::train(&d, &w, &cfg);
+        assert_eq!(report.num_queries, w.len());
+        // loss decreased over training
+        assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
+        // estimates are finite, ≥ 1
+        for q in &w.queries {
+            let e = sketch.estimate(&q.graph);
+            assert!(e.is_finite() && e >= 1.0);
+        }
+    }
+
+    #[test]
+    fn active_round_grows_training_set() {
+        let d = data_graph();
+        let w = real_workload(&d);
+        let cfg = SketchConfig::tiny();
+        let (mut sketch, _) = LearnedSketch::train(&d, &w, &cfg);
+        let mut items = encode_workload(sketch.encoder(), &w);
+        let pool_queries = vec![
+            graph_from_edges(&[0, 2], &[(0, 1)]),
+            graph_from_edges(&[2, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from_edges(&[1, 1, 1], &[(0, 1), (1, 2)]),
+        ];
+        let mut pool: Vec<PoolItem> = pool_queries
+            .into_iter()
+            .map(|g| PoolItem {
+                encoded: sketch.encode(&g),
+                graph: g,
+            })
+            .collect();
+        let before = items.len();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let report = active_round(
+            &mut sketch,
+            &mut items,
+            &mut pool,
+            |g| count_homomorphisms(&d, g, &Budget::unlimited()).ok(),
+            Strategy::CrossTask,
+            2,
+            &TrainConfig::quick(5),
+            0,
+            &mut rng,
+        );
+        assert_eq!(report.labeled, 2);
+        assert_eq!(items.len(), before + 2);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn sketch_json_roundtrip_preserves_predictions() {
+        let d = data_graph();
+        let w = real_workload(&d);
+        let (sketch, _) = LearnedSketch::train(&d, &w, &SketchConfig::tiny());
+        let json = sketch.to_json().expect("serialize");
+        let back = LearnedSketch::from_json(&json).expect("deserialize");
+        for q in &w.queries {
+            let a = sketch.predict(&q.graph);
+            let b = back.predict(&q.graph);
+            assert_eq!(a.log10_count, b.log10_count);
+            assert_eq!(a.class_probs, b.class_probs);
+        }
+    }
+
+    #[test]
+    fn sketch_file_save_load() {
+        let d = data_graph();
+        let w = real_workload(&d);
+        let (sketch, _) = LearnedSketch::train(&d, &w, &SketchConfig::tiny());
+        let path = std::env::temp_dir().join("alss_sketch_test.json");
+        sketch.save(&path).expect("save");
+        let back = LearnedSketch::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        let q = &w.queries[0].graph;
+        assert_eq!(sketch.estimate(q), back.estimate(q));
+    }
+
+    #[test]
+    fn oracle_budget_failures_are_dropped() {
+        let d = data_graph();
+        let w = real_workload(&d);
+        let cfg = SketchConfig::tiny();
+        let (mut sketch, _) = LearnedSketch::train(&d, &w, &cfg);
+        let mut items = encode_workload(sketch.encoder(), &w);
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let mut pool = vec![PoolItem {
+            encoded: sketch.encode(&g),
+            graph: g,
+        }];
+        let mut rng = SmallRng::seed_from_u64(6);
+        let report = active_round(
+            &mut sketch,
+            &mut items,
+            &mut pool,
+            |_| None, // oracle always times out
+            Strategy::Entropy,
+            1,
+            &TrainConfig::quick(2),
+            1,
+            &mut rng,
+        );
+        assert_eq!(report.labeled, 0);
+        assert_eq!(report.dropped, 1);
+        assert!(pool.is_empty());
+    }
+}

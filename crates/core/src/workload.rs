@@ -1,0 +1,185 @@
+//! Labeled query workloads: `(query graph, true count)` pairs plus the
+//! split utilities used throughout §6 (stratified train/test splits,
+//! size-bucket grouping, true-count-range bucketing).
+
+use alss_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One labeled training/test query (the `(q_i, c(q_i))` of §2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabeledQuery {
+    /// The query graph.
+    pub graph: Graph,
+    /// Its exact matching count under the workload's semantics.
+    pub count: u64,
+}
+
+impl LabeledQuery {
+    /// Construct a labeled query.
+    pub fn new(graph: Graph, count: u64) -> Self {
+        LabeledQuery { graph, count }
+    }
+
+    /// Number of query nodes.
+    pub fn size(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// A workload of labeled queries.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// The labeled queries.
+    pub queries: Vec<LabeledQuery>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Workload {
+            queries: Vec::new(),
+        }
+    }
+
+    /// Wrap a query list.
+    pub fn from_queries(queries: Vec<LabeledQuery>) -> Self {
+        Workload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Distinct query sizes, ascending (Table 3's "Query Sizes").
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.queries.iter().map(|q| q.size()).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Queries of one size bucket.
+    pub fn of_size(&self, size: usize) -> Vec<&LabeledQuery> {
+        self.queries.iter().filter(|q| q.size() == size).collect()
+    }
+
+    /// Range of true counts `(min, max)` (Table 3's "Range of c(q)").
+    pub fn count_range(&self) -> Option<(u64, u64)> {
+        let min = self.queries.iter().map(|q| q.count).min()?;
+        let max = self.queries.iter().map(|q| q.count).max()?;
+        Some((min, max))
+    }
+
+    /// Stratified split by query size: `train_frac` of each size bucket
+    /// goes to the first returned workload (§6.2's 80/20 protocol).
+    pub fn stratified_split<R: Rng>(&self, train_frac: f64, rng: &mut R) -> (Workload, Workload) {
+        assert!((0.0..=1.0).contains(&train_frac), "fraction out of range");
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for size in self.sizes() {
+            let mut bucket: Vec<LabeledQuery> =
+                self.of_size(size).into_iter().cloned().collect();
+            bucket.shuffle(rng);
+            let k = ((bucket.len() as f64) * train_frac).round() as usize;
+            for (i, q) in bucket.into_iter().enumerate() {
+                if i < k {
+                    train.push(q);
+                } else {
+                    test.push(q);
+                }
+            }
+        }
+        (Workload::from_queries(train), Workload::from_queries(test))
+    }
+
+    /// Split into `fractions.len()` parts stratified by size (e.g. the
+    /// 60/20/20 split of §6.4). Fractions must sum to ≈ 1.
+    pub fn stratified_multi_split<R: Rng>(
+        &self,
+        fractions: &[f64],
+        rng: &mut R,
+    ) -> Vec<Workload> {
+        let total: f64 = fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1");
+        let mut parts: Vec<Vec<LabeledQuery>> = vec![Vec::new(); fractions.len()];
+        for size in self.sizes() {
+            let mut bucket: Vec<LabeledQuery> =
+                self.of_size(size).into_iter().cloned().collect();
+            bucket.shuffle(rng);
+            let n = bucket.len();
+            let mut start = 0usize;
+            for (pi, &f) in fractions.iter().enumerate() {
+                let take = if pi + 1 == fractions.len() {
+                    n - start
+                } else {
+                    ((n as f64) * f).round() as usize
+                };
+                let end = (start + take).min(n);
+                parts[pi].extend(bucket[start..end].iter().cloned());
+                start = end;
+            }
+        }
+        parts.into_iter().map(Workload::from_queries).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mk(size: usize, count: u64) -> LabeledQuery {
+        let labels: Vec<u32> = vec![0; size];
+        let edges: Vec<(u32, u32)> = (1..size as u32).map(|i| (i - 1, i)).collect();
+        LabeledQuery::new(graph_from_edges(&labels, &edges), count)
+    }
+
+    fn workload() -> Workload {
+        let mut qs = Vec::new();
+        for i in 0..20 {
+            qs.push(mk(3, 10 + i));
+            qs.push(mk(6, 1000 + i));
+        }
+        Workload::from_queries(qs)
+    }
+
+    #[test]
+    fn sizes_and_ranges() {
+        let w = workload();
+        assert_eq!(w.sizes(), vec![3, 6]);
+        assert_eq!(w.count_range(), Some((10, 1019)));
+        assert_eq!(w.of_size(3).len(), 20);
+    }
+
+    #[test]
+    fn stratified_split_preserves_buckets() {
+        let w = workload();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let (tr, te) = w.stratified_split(0.8, &mut rng);
+        assert_eq!(tr.len(), 32);
+        assert_eq!(te.len(), 8);
+        assert_eq!(tr.of_size(3).len(), 16);
+        assert_eq!(te.of_size(6).len(), 4);
+    }
+
+    #[test]
+    fn multi_split_partitions_everything() {
+        let w = workload();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let parts = w.stratified_multi_split(&[0.6, 0.2, 0.2], &mut rng);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, w.len());
+        assert_eq!(parts[0].of_size(3).len(), 12);
+    }
+}

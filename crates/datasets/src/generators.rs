@@ -1,0 +1,218 @@
+//! Random-graph topology generators. Each returns an edge list over
+//! `0..n`; label assignment is orthogonal (see [`crate::zipf`]).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (duplicates and self
+/// loops retried).
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes chosen proportionally to degree. Produces
+/// the heavy-tailed degree distributions of social/web graphs.
+pub fn barabasi_albert<R: Rng>(n: usize, m_per_node: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    assert!(n > m_per_node && m_per_node >= 1, "invalid BA parameters");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m_per_node);
+    // target list: node ids repeated once per degree (classic implementation)
+    let mut targets: Vec<u32> = (0..=m_per_node as u32).collect();
+    // seed clique-ish: connect initial m+1 nodes in a path
+    for i in 0..m_per_node as u32 {
+        edges.push((i, i + 1));
+    }
+    let mut degree_pool: Vec<u32> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    for v in (m_per_node as u32 + 1)..n as u32 {
+        targets.clear();
+        let mut tries = 0;
+        while targets.len() < m_per_node && tries < 50 * m_per_node {
+            tries += 1;
+            let t = degree_pool[rng.gen_range(0..degree_pool.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            degree_pool.push(t);
+            degree_pool.push(v);
+        }
+    }
+    edges
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Vec<(u32, u32)> {
+    assert!(n > 2 * k && k >= 1, "invalid WS parameters");
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for v in 0..n as u32 {
+        for j in 1..=k as u32 {
+            let mut u = (v + j) % n as u32;
+            if rng.gen_bool(beta.clamp(0.0, 1.0)) {
+                // rewire to a random non-neighbor
+                for _ in 0..20 {
+                    let cand = rng.gen_range(0..n as u32);
+                    let key = if v < cand { (v, cand) } else { (cand, v) };
+                    if cand != v && !seen.contains(&key) {
+                        u = cand;
+                        break;
+                    }
+                }
+            }
+            let key = if v < u { (v, u) } else { (u, v) };
+            if v != u && seen.insert(key) {
+                edges.push(key);
+            }
+        }
+    }
+    edges
+}
+
+/// Molecule-like forest: many small random-tree components with a few
+/// extra intra-component edges (rings), mimicking the aids chemical graph
+/// (|E| ≈ 1.08 |V|, thousands of components).
+pub fn molecule_forest<R: Rng>(
+    n: usize,
+    component_size: std::ops::Range<usize>,
+    ring_prob: f64,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    assert!(component_size.start >= 2, "components need ≥ 2 nodes");
+    let mut edges = Vec::with_capacity(n + n / 10);
+    let mut next = 0u32;
+    while (next as usize) < n {
+        let want = rng.gen_range(component_size.clone());
+        let size = want.min(n - next as usize).max(1);
+        let base = next;
+        // random tree: attach node i to a random earlier node (chemistry-like
+        // low branching: bias toward recent nodes)
+        for i in 1..size as u32 {
+            let lo = i.saturating_sub(4);
+            let p = rng.gen_range(lo..i);
+            edges.push((base + p, base + i));
+        }
+        // occasional ring closure
+        if size >= 4 && rng.gen_bool(ring_prob.clamp(0.0, 1.0)) {
+            let a = rng.gen_range(0..size as u32 / 2);
+            let b = rng.gen_range(size as u32 / 2..size as u32);
+            edges.push((base + a, base + b));
+        }
+        next += size as u32;
+    }
+    edges
+}
+
+/// Knowledge-graph-like: a few heavy hub entities plus a long tail,
+/// implemented as preferential attachment with extra random edges and a
+/// per-edge label from `0..edge_labels`.
+pub fn knowledge_graph<R: Rng>(
+    n: usize,
+    m: usize,
+    edge_labels: u32,
+    rng: &mut R,
+) -> Vec<(u32, u32, u32)> {
+    let base = barabasi_albert(n, 1, rng);
+    let mut edges: Vec<(u32, u32, u32)> = base
+        .into_iter()
+        .map(|(u, v)| (u, v, rng.gen_range(0..edge_labels.max(1))))
+        .collect();
+    let mut seen: std::collections::HashSet<(u32, u32)> =
+        edges.iter().map(|&(u, v, _)| (u, v)).collect();
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push((key.0, key.1, rng.gen_range(0..edge_labels.max(1))));
+        }
+    }
+    edges.shuffle(rng);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn degree_dist(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+        let mut d = vec![0usize; n];
+        for &(u, v) in edges {
+            d[u as usize] += 1;
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn er_edge_count_and_simplicity() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let e = erdos_renyi(100, 300, &mut rng);
+        assert_eq!(e.len(), 300);
+        let set: std::collections::HashSet<_> = e.iter().collect();
+        assert_eq!(set.len(), 300);
+        assert!(e.iter().all(|&(u, v)| u < v && (v as usize) < 100));
+    }
+
+    #[test]
+    fn ba_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let e = barabasi_albert(2000, 2, &mut rng);
+        let d = degree_dist(2000, &e);
+        let max = *d.iter().max().unwrap();
+        let mean = d.iter().sum::<usize>() as f64 / 2000.0;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "hub degree {max} should dominate mean {mean}"
+        );
+    }
+
+    #[test]
+    fn ws_degree_is_regularish() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let e = watts_strogatz(500, 3, 0.1, &mut rng);
+        let d = degree_dist(500, &e);
+        let mean = d.iter().sum::<usize>() as f64 / 500.0;
+        assert!((mean - 6.0).abs() < 1.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn forest_is_sparse_with_many_components() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 5000;
+        let e = molecule_forest(n, 10..40, 0.3, &mut rng);
+        let ratio = e.len() as f64 / n as f64;
+        assert!((0.9..1.2).contains(&ratio), "|E|/|V| = {ratio}");
+    }
+
+    #[test]
+    fn kg_has_edge_labels_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let e = knowledge_graph(1000, 2500, 20, &mut rng);
+        assert_eq!(e.len(), 2500);
+        assert!(e.iter().all(|&(_, _, l)| l < 20));
+    }
+}

@@ -1,0 +1,87 @@
+//! DeepWalk (Perozzi et al., KDD'14): uniform random walks + SGNS.
+
+use crate::embedding::Embedding;
+use crate::skipgram::{train_skipgram, SkipGramConfig};
+use crate::walks::uniform_walks;
+use alss_graph::Graph;
+use rand::Rng;
+
+/// DeepWalk hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeepWalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Skip-gram settings.
+    pub skipgram: SkipGramConfig,
+}
+
+impl Default for DeepWalkConfig {
+    fn default() -> Self {
+        DeepWalkConfig {
+            walks_per_node: 10,
+            walk_length: 40,
+            skipgram: SkipGramConfig::default(),
+        }
+    }
+}
+
+/// Train DeepWalk embeddings for every node of `g`.
+pub fn deepwalk<R: Rng>(g: &Graph, cfg: &DeepWalkConfig, rng: &mut R) -> Embedding {
+    let walks = uniform_walks(g, cfg.walks_per_node, cfg.walk_length, rng);
+    train_skipgram(g.num_nodes(), &walks, &cfg.skipgram, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Barbell: two K5 cliques joined by one bridge edge.
+    fn barbell() -> Graph {
+        let mut b = GraphBuilder::new(10);
+        for v in 0..10 {
+            b.set_label(v, 0);
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(i, j);
+                b.add_edge(i + 5, j + 5);
+            }
+        }
+        b.add_edge(4, 5);
+        b.build()
+    }
+
+    #[test]
+    fn deepwalk_places_cluster_members_nearby() {
+        let g = barbell();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let cfg = DeepWalkConfig {
+            walks_per_node: 40,
+            walk_length: 12,
+            skipgram: SkipGramConfig {
+                dim: 16,
+                window: 3,
+                negatives: 4,
+                lr: 0.05,
+                epochs: 4,
+            },
+        };
+        let emb = deepwalk(&g, &cfg, &mut rng);
+        assert_eq!(emb.len(), 10);
+        // Average similarity among non-bridge clique-A pairs vs. across
+        // cliques (bridge endpoints 4 and 5 excluded).
+        let within_pairs = [(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+        let across_pairs = [(0usize, 6usize), (1, 7), (2, 8), (3, 9)];
+        let avg = |pairs: &[(usize, usize)]| {
+            pairs.iter().map(|&(a, b)| emb.cosine(a, b)).sum::<f32>() / pairs.len() as f32
+        };
+        let within = avg(&within_pairs);
+        let across = avg(&across_pairs);
+        assert!(within > across, "within {within} vs across {across}");
+    }
+}

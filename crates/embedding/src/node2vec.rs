@@ -1,0 +1,84 @@
+//! node2vec (Grover & Leskovec, KDD'16): p/q-biased walks + SGNS.
+
+use crate::embedding::Embedding;
+use crate::skipgram::{train_skipgram, SkipGramConfig};
+use crate::walks::biased_walks;
+use alss_graph::Graph;
+use rand::Rng;
+
+/// node2vec hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Node2VecConfig {
+    /// Return parameter `p` (large ⇒ avoid revisiting).
+    pub p: f32,
+    /// In-out parameter `q` (small ⇒ DFS-like exploration).
+    pub q: f32,
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Skip-gram settings.
+    pub skipgram: SkipGramConfig,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Node2VecConfig {
+            p: 1.0,
+            q: 0.5,
+            walks_per_node: 10,
+            walk_length: 40,
+            skipgram: SkipGramConfig::default(),
+        }
+    }
+}
+
+/// Train node2vec embeddings for every node of `g`.
+pub fn node2vec<R: Rng>(g: &Graph, cfg: &Node2VecConfig, rng: &mut R) -> Embedding {
+    let walks = biased_walks(
+        g,
+        cfg.walks_per_node,
+        cfg.walk_length,
+        cfg.p,
+        cfg.q,
+        rng,
+    );
+    train_skipgram(g.num_nodes(), &walks, &cfg.skipgram, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node2vec_runs_and_produces_finite_vectors() {
+        let mut b = GraphBuilder::new(8);
+        for v in 0..8 {
+            b.set_label(v, 0);
+        }
+        for v in 0..8u32 {
+            b.add_edge(v, (v + 1) % 8);
+        }
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = Node2VecConfig {
+            walks_per_node: 5,
+            walk_length: 8,
+            skipgram: SkipGramConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let emb = node2vec(&g, &cfg, &mut rng);
+        assert_eq!(emb.len(), 8);
+        assert_eq!(emb.dim(), 8);
+        for v in 0..8 {
+            assert!(emb.vector(v).iter().all(|x| x.is_finite()));
+        }
+    }
+}

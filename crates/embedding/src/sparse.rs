@@ -1,0 +1,127 @@
+//! Minimal sparse linear algebra for spectral embeddings: a CSR matrix
+//! with sparse–dense products, plus graph-derived normalized operators.
+
+use alss_graph::Graph;
+
+/// An `n × n` sparse matrix in CSR form.
+#[derive(Clone, Debug)]
+pub struct SparseMatrix {
+    n: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Build from per-row `(col, value)` lists.
+    pub fn from_rows(rows: Vec<Vec<(u32, f32)>>) -> Self {
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        offsets.push(0);
+        for row in rows {
+            for (c, v) in row {
+                indices.push(c);
+                values.push(v);
+            }
+            offsets.push(indices.len());
+        }
+        SparseMatrix {
+            n,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Symmetrically normalized adjacency with self loops:
+    /// `Â = D^{-1/2} (A + I) D^{-1/2}` (degrees include the self loop).
+    /// All eigenvalues lie in `[-1, 1]`; the operator underlying both the
+    /// rSVD factorization stage and Chebyshev propagation.
+    pub fn normalized_adjacency(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let deg: Vec<f32> = (0..n).map(|v| g.degree(v as u32) as f32 + 1.0).collect();
+        let isq: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
+        let rows = (0..n)
+            .map(|v| {
+                let mut row: Vec<(u32, f32)> = Vec::with_capacity(g.degree(v as u32) + 1);
+                row.push((v as u32, isq[v] * isq[v]));
+                for &u in g.neighbors(v as u32) {
+                    row.push((u, isq[v] * isq[u as usize]));
+                }
+                row.sort_unstable_by_key(|&(c, _)| c);
+                row
+            })
+            .collect();
+        SparseMatrix::from_rows(rows)
+    }
+
+    /// `out = self · dense`, where `dense` is row-major `n × k`.
+    pub fn spmm(&self, dense: &[f32], k: usize) -> Vec<f32> {
+        assert_eq!(dense.len(), self.n * k, "dense operand shape mismatch");
+        let mut out = vec![0.0f32; self.n * k];
+        for r in 0..self.n {
+            let orow = &mut out[r * k..(r + 1) * k];
+            for e in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[e] as usize;
+                let v = self.values[e];
+                let drow = &dense[c * k..(c + 1) * k];
+                for (o, &d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+
+    #[test]
+    fn spmm_identity_like() {
+        // diagonal matrix doubles each row
+        let m = SparseMatrix::from_rows(vec![vec![(0, 2.0)], vec![(1, 2.0)]]);
+        let d = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.spmm(&d, 2), vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_sum_bounded() {
+        let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let m = SparseMatrix::normalized_adjacency(&g);
+        assert_eq!(m.dim(), 3);
+        // K3 + self loops, all degrees 3: every entry 1/3, rows sum to 1
+        let ones = vec![1.0f32; 3];
+        let s = m.spmm(&ones, 1);
+        for v in s {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spectral_radius_at_most_one() {
+        // power iteration on Â should not blow up
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let m = SparseMatrix::normalized_adjacency(&g);
+        let mut x = vec![1.0f32, -0.5, 0.25, 0.9];
+        for _ in 0..50 {
+            x = m.spmm(&x, 1);
+        }
+        assert!(x.iter().all(|v| v.abs() <= 1.5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Random-walk corpus generation for skip-gram-based embeddings.
+
+use alss_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Generate `walks_per_node` uniform random walks of length `walk_length`
+/// from every node (DeepWalk corpus). Walks stop early at sinks.
+pub fn uniform_walks<R: Rng>(
+    g: &Graph,
+    walks_per_node: usize,
+    walk_length: usize,
+    rng: &mut R,
+) -> Vec<Vec<NodeId>> {
+    let mut walks = Vec::with_capacity(g.num_nodes() * walks_per_node);
+    for _ in 0..walks_per_node {
+        for start in g.nodes() {
+            let mut walk = Vec::with_capacity(walk_length);
+            walk.push(start);
+            let mut cur = start;
+            for _ in 1..walk_length {
+                let nbrs = g.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                cur = nbrs[rng.gen_range(0..nbrs.len())];
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Generate node2vec walks with return parameter `p` and in-out parameter
+/// `q` (Grover & Leskovec, KDD'16), using rejection sampling over the
+/// unnormalized transition weights:
+///
+/// * back to the previous node — weight `1/p`;
+/// * to a common neighbor of the previous node — weight `1`;
+/// * elsewhere — weight `1/q`.
+pub fn biased_walks<R: Rng>(
+    g: &Graph,
+    walks_per_node: usize,
+    walk_length: usize,
+    p: f32,
+    q: f32,
+    rng: &mut R,
+) -> Vec<Vec<NodeId>> {
+    assert!(p > 0.0 && q > 0.0, "node2vec p/q must be positive");
+    let w_ret = 1.0 / p;
+    let w_out = 1.0 / q;
+    let w_max = w_ret.max(1.0).max(w_out);
+    let mut walks = Vec::with_capacity(g.num_nodes() * walks_per_node);
+    for _ in 0..walks_per_node {
+        for start in g.nodes() {
+            let mut walk = Vec::with_capacity(walk_length);
+            walk.push(start);
+            let mut prev: Option<NodeId> = None;
+            let mut cur = start;
+            for _ in 1..walk_length {
+                let nbrs = g.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = match prev {
+                    None => nbrs[rng.gen_range(0..nbrs.len())],
+                    Some(pv) => {
+                        // rejection sampling on the biased weights
+                        loop {
+                            let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                            let w = if cand == pv {
+                                w_ret
+                            } else if g.has_edge(cand, pv) {
+                                1.0
+                            } else {
+                                w_out
+                            };
+                            if rng.gen::<f32>() * w_max <= w {
+                                break cand;
+                            }
+                        }
+                    }
+                };
+                prev = Some(cur);
+                cur = next;
+                walk.push(cur);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path() -> Graph {
+        graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = path();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for walk in uniform_walks(&g, 2, 5, &mut rng) {
+            for w in walk.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "non-edge step {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_size_and_start_coverage() {
+        let g = path();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let walks = uniform_walks(&g, 3, 4, &mut rng);
+        assert_eq!(walks.len(), 3 * 4);
+        let starts: std::collections::HashSet<_> = walks.iter().map(|w| w[0]).collect();
+        assert_eq!(starts.len(), 4);
+    }
+
+    #[test]
+    fn biased_walks_follow_edges_too() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for walk in biased_walks(&g, 2, 6, 0.5, 2.0, &mut rng) {
+            for w in walk.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn high_p_discourages_backtracking() {
+        // On a path graph, with huge p (tiny return weight), immediate
+        // backtracks should be rarer than with tiny p.
+        let g = path();
+        let count_backtracks = |p: f32, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let walks = biased_walks(&g, 20, 8, p, 1.0, &mut rng);
+            walks
+                .iter()
+                .flat_map(|w| w.windows(3))
+                .filter(|t| t[0] == t[2])
+                .count()
+        };
+        let no_return = count_backtracks(10.0, 3);
+        let returny = count_backtracks(0.1, 3);
+        assert!(
+            no_return < returny,
+            "p=10 backtracks {no_return} !< p=0.1 backtracks {returny}"
+        );
+    }
+
+    #[test]
+    fn isolated_node_yields_singleton_walk() {
+        let g = graph_from_edges(&[0, 0], &[]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for w in uniform_walks(&g, 1, 5, &mut rng) {
+            assert_eq!(w.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A small dense two-phase primal simplex solver.
+//!
+//! Sized for the tiny LPs of this repository: fractional edge covers of
+//! query graphs (≤ ~40 variables, ≤ ~32 constraints). Uses Bland's rule,
+//! so it cannot cycle.
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found: (objective value, variable assignment).
+    Optimal(f64, Vec<f64>),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// Minimize `c·x` subject to `A x ≥ b`, `x ≥ 0`.
+///
+/// `a` is row-major `m × n`; `b` has length `m`; `c` has length `n`.
+pub fn solve_min(c: &[f64], a: &[f64], b: &[f64]) -> LpResult {
+    let n = c.len();
+    let m = b.len();
+    assert_eq!(a.len(), m * n, "constraint matrix shape");
+
+    // Convert to equalities: A x − s = b (surplus s ≥ 0), then phase-1 with
+    // artificials. Normalize rows to b ≥ 0 first (flip rows with b < 0).
+    // Columns: [x (n) | s (m) | artificials (m)].
+    let cols = n + m + m;
+    let mut t = vec![0.0f64; m * cols]; // tableau rows
+    let mut rhs = vec![0.0f64; m];
+    for i in 0..m {
+        let flip = b[i] < 0.0;
+        let sgn = if flip { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i * cols + j] = sgn * a[i * n + j];
+        }
+        t[i * cols + n + i] = -sgn; // surplus
+        t[i * cols + n + m + i] = 1.0; // artificial
+        rhs[i] = sgn * b[i];
+    }
+    let mut basis: Vec<usize> = (0..m).map(|i| n + m + i).collect();
+
+    // Phase 1: minimize sum of artificials.
+    let mut obj1 = vec![0.0f64; cols];
+    for o in obj1.iter_mut().skip(n + m) {
+        *o = 1.0;
+    }
+    let feasible = simplex_core(&mut t, &mut rhs, &mut basis, &obj1, cols, m);
+    match feasible {
+        CoreResult::Unbounded => return LpResult::Infeasible, // cannot happen
+        CoreResult::Optimal(v) if v > 1e-7 => return LpResult::Infeasible,
+        CoreResult::Optimal(_) => {}
+    }
+    // Drive artificials out of the basis where possible.
+    for i in 0..m {
+        if basis[i] >= n + m {
+            // find a non-artificial column with nonzero coefficient
+            if let Some(j) = (0..n + m).find(|&j| t[i * cols + j].abs() > 1e-9) {
+                pivot(&mut t, &mut rhs, &mut basis, cols, m, i, j);
+            }
+            // else: redundant row; keep artificial at value 0
+        }
+    }
+
+    // Phase 2: original objective; forbid artificials by large cost.
+    let mut obj2 = vec![0.0f64; cols];
+    obj2[..n].copy_from_slice(c);
+    for o in obj2.iter_mut().skip(n + m) {
+        *o = 1e18;
+    }
+    match simplex_core(&mut t, &mut rhs, &mut basis, &obj2, cols, m) {
+        CoreResult::Unbounded => LpResult::Unbounded,
+        CoreResult::Optimal(_) => {
+            let mut x = vec![0.0; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    x[basis[i]] = rhs[i];
+                }
+            }
+            let val = c.iter().zip(&x).map(|(&ci, &xi)| ci * xi).sum();
+            LpResult::Optimal(val, x)
+        }
+    }
+}
+
+enum CoreResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Revised-tableau simplex with Bland's rule on an equality system.
+fn simplex_core(
+    t: &mut [f64],
+    rhs: &mut [f64],
+    basis: &mut [usize],
+    obj: &[f64],
+    cols: usize,
+    m: usize,
+) -> CoreResult {
+    loop {
+        // reduced costs: r_j = obj_j − y·col_j where y solves basis pricing.
+        // With the tableau kept in canonical form, r_j = obj_j − Σ_i obj_basis[i]*t[i][j].
+        let mut entering = None;
+        for j in 0..cols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = obj[j];
+            for i in 0..m {
+                r -= obj[basis[i]] * t[i * cols + j];
+            }
+            if r < -1e-9 {
+                entering = Some(j);
+                break; // Bland: smallest index
+            }
+        }
+        let Some(j) = entering else {
+            let val = (0..m).map(|i| obj[basis[i]] * rhs[i]).sum();
+            return CoreResult::Optimal(val);
+        };
+        // ratio test
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let aij = t[i * cols + j];
+            if aij > 1e-9 {
+                let ratio = rhs[i] / aij;
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - 1e-12 || (ratio < lr + 1e-12 && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return CoreResult::Unbounded;
+        };
+        pivot(t, rhs, basis, cols, m, i, j);
+    }
+}
+
+fn pivot(t: &mut [f64], rhs: &mut [f64], basis: &mut [usize], cols: usize, m: usize, pr: usize, pc: usize) {
+    let pv = t[pr * cols + pc];
+    debug_assert!(pv.abs() > 1e-12, "pivot on ~zero element");
+    for j in 0..cols {
+        t[pr * cols + j] /= pv;
+    }
+    rhs[pr] /= pv;
+    for i in 0..m {
+        if i == pr {
+            continue;
+        }
+        let f = t[i * cols + pc];
+        if f.abs() < 1e-13 {
+            continue;
+        }
+        for j in 0..cols {
+            t[i * cols + j] -= f * t[pr * cols + j];
+        }
+        rhs[i] -= f * rhs[pr];
+    }
+    basis[pr] = pc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(r: LpResult, expect: f64) -> Vec<f64> {
+        match r {
+            LpResult::Optimal(v, x) => {
+                assert!((v - expect).abs() < 1e-6, "objective {v} != {expect}");
+                x
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_covering_lp() {
+        // min x1 + x2 s.t. x1 ≥ 1, x2 ≥ 2 → 3
+        let r = solve_min(&[1.0, 1.0], &[1.0, 0.0, 0.0, 1.0], &[1.0, 2.0]);
+        let x = assert_optimal(r, 3.0);
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_edge_cover() {
+        // K3 fractional edge cover: 3 edges, each vertex in 2 edges;
+        // min Σx s.t. each vertex covered → 3/2 with x = 1/2 each.
+        #[rustfmt::skip]
+        let a = [
+            1.0, 1.0, 0.0, // vertex 0 in edges (01),(02)
+            1.0, 0.0, 1.0, // vertex 1 in edges (01),(12)
+            0.0, 1.0, 1.0, // vertex 2 in edges (02),(12)
+        ];
+        let r = solve_min(&[1.0, 1.0, 1.0], &a, &[1.0, 1.0, 1.0]);
+        assert_optimal(r, 1.5);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≥ 2 and −x ≥ −1 (i.e. x ≤ 1): infeasible
+        let r = solve_min(&[1.0], &[1.0, -1.0], &[2.0, -1.0]);
+        assert_eq!(r, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x s.t. x ≥ 0 (no upper bound)
+        let r = solve_min(&[-1.0], &[1.0], &[0.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn star_edge_cover_needs_all_leaves() {
+        // star with center 0, leaves 1..3; edges (0,i): each leaf vertex
+        // only covered by its own edge → x_i = 1, objective 3.
+        #[rustfmt::skip]
+        let a = [
+            1.0, 1.0, 1.0, // center in all edges
+            1.0, 0.0, 0.0,
+            0.0, 1.0, 0.0,
+            0.0, 0.0, 1.0,
+        ];
+        let r = solve_min(&[1.0, 1.0, 1.0], &a, &[1.0; 4]);
+        assert_optimal(r, 3.0);
+    }
+
+    #[test]
+    fn path_cover_alternates() {
+        // path 0-1-2-3-4 (4 edges): both end vertices force their edge to 1,
+        // and the middle vertex needs x2+x3 ≥ 1 → ρ* = ⌈5/2⌉ = 3
+        #[rustfmt::skip]
+        let a = [
+            1.0, 0.0, 0.0, 0.0,
+            1.0, 1.0, 0.0, 0.0,
+            0.0, 1.0, 1.0, 0.0,
+            0.0, 0.0, 1.0, 1.0,
+            0.0, 0.0, 0.0, 1.0,
+        ];
+        let r = solve_min(&[1.0; 4], &a, &[1.0; 5]);
+        assert_optimal(r, 3.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The label-augmented graph `G_L` of §4.3 (Fig. 3).
+
+use crate::{Graph, GraphBuilder, LabelId, NodeId};
+
+/// Result of [`label_augmented_graph`]: the augmented graph plus the mapping
+/// from labels to their dedicated nodes.
+#[derive(Clone, Debug)]
+pub struct AugmentedGraph {
+    /// `G_L = (V ∪ V_L, E ∪ E_L)`. The first `|V|` nodes are the original
+    /// data nodes; node `|V| + l` represents label `l`.
+    pub graph: Graph,
+    /// Number of original data nodes (label node `l` is `base + l`).
+    pub base: usize,
+}
+
+impl AugmentedGraph {
+    /// Node id in `G_L` representing label `l`.
+    #[inline]
+    pub fn label_node(&self, l: LabelId) -> NodeId {
+        (self.base + l as usize) as NodeId
+    }
+
+    /// Inverse of [`AugmentedGraph::label_node`]: if `v` is a label node,
+    /// the label it represents.
+    #[inline]
+    pub fn node_label_id(&self, v: NodeId) -> Option<LabelId> {
+        if (v as usize) >= self.base {
+            Some((v as usize - self.base) as LabelId)
+        } else {
+            None
+        }
+    }
+}
+
+/// Construct the label-augmented graph `G_L` for a data graph `G` (§4.3):
+/// add one node per label in `Σ` and connect every data node to the node of
+/// its label. Node-embedding pre-training on `G_L` places labels near the
+/// topological regions where they occur, which is what LSS-emb exploits.
+///
+/// Labels in `G_L` are kept (data nodes keep their label; label nodes get
+/// their own label id) so downstream embeddings may also use them, though
+/// the embedding algorithms in `alss-embedding` are label-agnostic.
+pub fn label_augmented_graph(g: &Graph) -> AugmentedGraph {
+    let n = g.num_nodes();
+    let sigma = g.num_node_labels();
+    let mut b = GraphBuilder::new(n + sigma);
+    for v in g.nodes() {
+        b.set_label(v, g.label(v));
+    }
+    for l in 0..sigma {
+        b.set_label((n + l) as NodeId, l as LabelId);
+    }
+    for e in g.edges() {
+        b.add_edge(e.u, e.v);
+    }
+    for v in g.nodes() {
+        for l in g.labels_of(v) {
+            b.add_edge(v, (n + l as usize) as NodeId);
+        }
+    }
+    AugmentedGraph {
+        graph: b.build(),
+        base: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn augmentation_adds_label_nodes_and_edges() {
+        // Fig. 3-style: 4 nodes, labels {0,0,1,2}, path edges.
+        let g = graph_from_edges(&[0, 0, 1, 2], &[(0, 1), (1, 2), (2, 3)]);
+        let a = label_augmented_graph(&g);
+        assert_eq!(a.graph.num_nodes(), 4 + 3);
+        // 3 original edges + 4 label edges
+        assert_eq!(a.graph.num_edges(), 3 + 4);
+        // label node 0 is adjacent to both label-0 data nodes
+        let l0 = a.label_node(0);
+        assert_eq!(a.graph.neighbors(l0), &[0, 1]);
+        assert_eq!(a.node_label_id(l0), Some(0));
+        assert_eq!(a.node_label_id(0), None);
+    }
+
+    #[test]
+    fn original_topology_preserved() {
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let a = label_augmented_graph(&g);
+        assert!(a.graph.has_edge(0, 1));
+        assert!(a.graph.has_edge(0, a.label_node(0)));
+        assert!(a.graph.has_edge(1, a.label_node(1)));
+        assert!(!a.graph.has_edge(a.label_node(0), a.label_node(1)));
+    }
+}

@@ -1,0 +1,124 @@
+//! `l`-hop BFS-tree extraction (Algorithm 1, line 1).
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A breadth-first-search tree of depth at most `l`, rooted at a node of a
+/// query graph. Node ids refer to the *original* graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsTree {
+    /// Root node (original id).
+    pub root: NodeId,
+    /// Nodes in BFS discovery order; `nodes[0] == root`.
+    pub nodes: Vec<NodeId>,
+    /// Depth of each node in `nodes` (same order); `depth[0] == 0`.
+    pub depths: Vec<u32>,
+    /// Tree edges `(parent, child)` in original ids, in discovery order.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+/// Compute the `l`-hop BFS tree of `g` rooted at `root`.
+///
+/// Each node reachable within `l` hops appears exactly once, attached to the
+/// neighbor through which it was first discovered (ties broken by ascending
+/// node id, since adjacency lists are sorted). Tree edges therefore form a
+/// tree; every query edge `(u, v)` appears in at least the trees rooted at
+/// `u` and `v` whenever `l >= 1`, which makes the decomposition *complete*
+/// in the paper's sense.
+pub fn bfs_tree(g: &Graph, root: NodeId, l: u32) -> BfsTree {
+    let n = g.num_nodes();
+    debug_assert!((root as usize) < n, "root out of range");
+    let mut seen = vec![false; n];
+    let mut nodes = Vec::new();
+    let mut depths = Vec::new();
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[root as usize] = true;
+    nodes.push(root);
+    depths.push(0);
+    queue.push_back((root, 0u32));
+    while let Some((v, d)) = queue.pop_front() {
+        if d == l {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                nodes.push(u);
+                depths.push(d + 1);
+                edges.push((v, u));
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    BfsTree {
+        root,
+        nodes,
+        depths,
+        edges,
+    }
+}
+
+impl BfsTree {
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Maximum depth reached.
+    pub fn depth(&self) -> u32 {
+        self.depths.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    /// Path 0-1-2-3-4.
+    fn path5() -> Graph {
+        graph_from_edges(&[0, 1, 2, 3, 4], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn hop_limit_respected() {
+        let g = path5();
+        let t = bfs_tree(&g, 0, 2);
+        assert_eq!(t.nodes, vec![0, 1, 2]);
+        assert_eq!(t.depths, vec![0, 1, 2]);
+        assert_eq!(t.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn full_coverage_with_large_l() {
+        let g = path5();
+        let t = bfs_tree(&g, 2, 10);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edges.len(), 4); // spanning tree
+    }
+
+    #[test]
+    fn tree_edges_form_a_tree() {
+        // Cycle of 4: BFS tree from 0 must omit one cycle edge.
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let t = bfs_tree(&g, 0, 3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.edges.len(), 3);
+    }
+
+    #[test]
+    fn zero_hops_is_just_root() {
+        let g = path5();
+        let t = bfs_tree(&g, 3, 0);
+        assert_eq!(t.nodes, vec![3]);
+        assert!(t.is_empty());
+        assert!(t.edges.is_empty());
+    }
+}

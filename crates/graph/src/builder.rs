@@ -1,0 +1,244 @@
+//! Incremental graph builder producing the immutable CSR [`Graph`].
+
+use crate::{Graph, LabelId, NodeId, WILDCARD};
+
+/// Builder for [`Graph`].
+///
+/// Duplicated edges and self loops are rejected with a panic in debug
+/// semantics (they indicate a generator bug); duplicate `add_edge` calls on
+/// the same pair are deduplicated silently since random generators commonly
+/// re-propose edges.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    labels: Vec<LabelId>,
+    extra_labels: Vec<Vec<LabelId>>,
+    any_extra_label: bool,
+    edges: Vec<(NodeId, NodeId)>,
+    edge_labels: Vec<LabelId>,
+    any_edge_label: bool,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `n` nodes, all initially
+    /// [`WILDCARD`]-labeled.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            labels: vec![WILDCARD; n],
+            extra_labels: vec![Vec::new(); n],
+            any_extra_label: false,
+            edges: Vec::new(),
+            edge_labels: Vec::new(),
+            any_edge_label: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Set the label of node `v`.
+    pub fn set_label(&mut self, v: NodeId, label: LabelId) -> &mut Self {
+        self.labels[v as usize] = label;
+        self
+    }
+
+    /// Add a secondary label to node `v` (multi-label graphs, e.g. the
+    /// yago analogue). Duplicates of the primary or of an existing extra
+    /// label are ignored.
+    pub fn add_extra_label(&mut self, v: NodeId, label: LabelId) -> &mut Self {
+        assert!(label != WILDCARD, "extra labels cannot be wildcards");
+        let vi = v as usize;
+        if self.labels[vi] != label && !self.extra_labels[vi].contains(&label) {
+            self.extra_labels[vi].push(label);
+            self.any_extra_label = true;
+        }
+        self
+    }
+
+    /// Set all node labels at once (`labels.len()` must equal `n`).
+    pub fn set_labels(&mut self, labels: &[LabelId]) -> &mut Self {
+        assert_eq!(labels.len(), self.labels.len(), "label count mismatch");
+        self.labels.copy_from_slice(labels);
+        self
+    }
+
+    /// Add an unlabeled undirected edge. Self loops are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_labeled_edge(u, v, WILDCARD)
+    }
+
+    /// Add an undirected edge carrying an edge label. Self loops are ignored.
+    pub fn add_labeled_edge(&mut self, u: NodeId, v: NodeId, label: LabelId) -> &mut Self {
+        assert!(
+            (u as usize) < self.labels.len() && (v as usize) < self.labels.len(),
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return self;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self.edge_labels.push(label);
+        if label != WILDCARD {
+            self.any_edge_label = true;
+        }
+        self
+    }
+
+    /// Whether edge `(u,v)` was already added (linear scan; intended for
+    /// small query graphs and tests).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&(a, b))
+    }
+
+    /// Finalize into an immutable CSR [`Graph`]. Duplicate edges are merged
+    /// (keeping the first label).
+    pub fn build(&self) -> Graph {
+        let n = self.labels.len();
+        // Sort-dedup unique edges, keeping labels aligned.
+        let mut order: Vec<usize> = (0..self.edges.len()).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i]);
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges.len());
+        let mut edge_labels: Vec<LabelId> = Vec::with_capacity(self.edges.len());
+        for &i in &order {
+            if edges.last() == Some(&self.edges[i]) {
+                continue;
+            }
+            edges.push(self.edges[i]);
+            edge_labels.push(self.edge_labels[i]);
+        }
+
+        // Degree counting for CSR.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; 2 * edges.len()];
+        let mut adj_labels = vec![WILDCARD; 2 * edges.len()];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let l = edge_labels[i];
+            neighbors[cursor[u as usize] as usize] = v;
+            adj_labels[cursor[u as usize] as usize] = l;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            adj_labels[cursor[v as usize] as usize] = l;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency (labels move with neighbors).
+        for v in 0..n {
+            let s = offsets[v] as usize;
+            let e = offsets[v + 1] as usize;
+            let mut idx: Vec<usize> = (s..e).collect();
+            idx.sort_unstable_by_key(|&i| neighbors[i]);
+            let nb: Vec<NodeId> = idx.iter().map(|&i| neighbors[i]).collect();
+            let lb: Vec<LabelId> = idx.iter().map(|&i| adj_labels[i]).collect();
+            neighbors[s..e].copy_from_slice(&nb);
+            adj_labels[s..e].copy_from_slice(&lb);
+        }
+
+        let num_node_labels = self
+            .labels
+            .iter()
+            .filter(|&&l| l != WILDCARD)
+            .chain(self.extra_labels.iter().flatten())
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let num_edge_labels = if self.any_edge_label {
+            edge_labels
+                .iter()
+                .filter(|&&l| l != WILDCARD)
+                .map(|&l| l as usize + 1)
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let extra = self.any_extra_label.then(|| {
+            self.extra_labels
+                .iter()
+                .map(|e| {
+                    let mut s = e.clone();
+                    s.sort_unstable();
+                    s
+                })
+                .collect()
+        });
+        Graph::from_parts(
+            offsets,
+            neighbors,
+            self.any_edge_label.then_some(adj_labels),
+            self.labels.clone(),
+            edges,
+            self.any_edge_label.then_some(edge_labels),
+            extra,
+            num_node_labels,
+            num_edge_labels,
+        )
+    }
+}
+
+/// Convenience: build a node-labeled graph from a label slice and an edge
+/// list. Mostly used in tests and examples.
+pub fn graph_from_edges(labels: &[LabelId], edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(labels.len());
+    b.set_labels(labels);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn label_count_tracks_max_label() {
+        let g = graph_from_edges(&[0, 5, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_node_labels(), 6);
+    }
+
+    #[test]
+    fn adjacency_sorted_with_labels_aligned() {
+        let mut b = GraphBuilder::new(4);
+        b.add_labeled_edge(2, 3, 1)
+            .add_labeled_edge(2, 0, 2)
+            .add_labeled_edge(2, 1, 3);
+        let g = b.build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbor_edge_labels(2).unwrap(), &[2, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Query decomposition into per-root BFS-tree substructures (§4.2).
+
+use crate::{bfs_tree, Graph, GraphBuilder, NodeId, WILDCARD};
+
+/// One decomposed substructure `s_i` of a query graph: an `l`-hop BFS tree
+/// materialized as a small labeled graph with local (dense) node ids.
+#[derive(Clone, Debug)]
+pub struct Substructure {
+    /// The substructure as a standalone labeled graph. Local node `i`
+    /// corresponds to `original[i]` in the query graph.
+    pub graph: Graph,
+    /// Mapping local node id → original query node id.
+    pub original: Vec<NodeId>,
+    /// Root of the BFS tree, as a local id (always 0).
+    pub root: NodeId,
+}
+
+/// Decompose a query graph `q` into `|V_q|` substructures, the `l`-hop BFS
+/// tree rooted at every query node (§4.2; the paper uses `l = 3`).
+///
+/// The decomposition is *complete*: the union of substructure nodes is
+/// `V_q` and (for `l >= 1` and connected `q`) the union of substructure
+/// edges is `E_q`, because every edge `(u,v)` is a depth-1 tree edge of the
+/// tree rooted at `u`. Substructures deliberately overlap so the attention
+/// aggregator can learn their interrelation.
+pub fn decompose(q: &Graph, l: u32) -> Vec<Substructure> {
+    q.nodes().map(|root| substructure_at(q, root, l)).collect()
+}
+
+/// Build the single substructure rooted at `root`.
+pub fn substructure_at(q: &Graph, root: NodeId, l: u32) -> Substructure {
+    let t = bfs_tree(q, root, l);
+    let mut local = vec![u32::MAX; q.num_nodes()];
+    for (i, &v) in t.nodes.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(t.nodes.len());
+    for (i, &v) in t.nodes.iter().enumerate() {
+        b.set_label(i as NodeId, q.label(v));
+        for l in q.extra_labels(v) {
+            b.add_extra_label(i as NodeId, *l);
+        }
+    }
+    for &(u, v) in &t.edges {
+        match q.edge_label(u, v) {
+            Some(WILDCARD) | None => {
+                b.add_edge(local[u as usize], local[v as usize]);
+            }
+            Some(el) => {
+                b.add_labeled_edge(local[u as usize], local[v as usize], el);
+            }
+        }
+    }
+    Substructure {
+        graph: b.build(),
+        original: t.nodes,
+        root: 0,
+    }
+}
+
+/// Check the completeness property of a decomposition against its query:
+/// every query node and (if `q` is connected and `l >= 1`) every query edge
+/// is covered by some substructure. Used by tests and debug assertions.
+pub fn is_complete(q: &Graph, subs: &[Substructure]) -> bool {
+    let mut node_cov = vec![false; q.num_nodes()];
+    let mut edge_cov = std::collections::HashSet::new();
+    for s in subs {
+        for (i, &orig) in s.original.iter().enumerate() {
+            node_cov[orig as usize] = true;
+            let _ = i;
+        }
+        for e in s.graph.edges() {
+            let (a, b) = (s.original[e.u as usize], s.original[e.v as usize]);
+            edge_cov.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    node_cov.iter().all(|&c| c)
+        && q.edges().all(|e| edge_cov.contains(&(e.u, e.v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn square_with_diagonal() -> Graph {
+        graph_from_edges(
+            &[0, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)],
+        )
+    }
+
+    #[test]
+    fn one_substructure_per_node() {
+        let q = square_with_diagonal();
+        let subs = decompose(&q, 3);
+        assert_eq!(subs.len(), 4);
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.original[0], i as NodeId);
+            assert_eq!(s.root, 0);
+        }
+    }
+
+    #[test]
+    fn decomposition_is_complete() {
+        let q = square_with_diagonal();
+        for l in 1..=3 {
+            let subs = decompose(&q, l);
+            assert!(is_complete(&q, &subs), "incomplete at l={l}");
+        }
+    }
+
+    #[test]
+    fn labels_are_preserved_locally() {
+        let q = square_with_diagonal();
+        let subs = decompose(&q, 2);
+        for s in &subs {
+            for v in s.graph.nodes() {
+                assert_eq!(s.graph.label(v), q.label(s.original[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn substructures_are_trees() {
+        let q = square_with_diagonal();
+        for s in decompose(&q, 3) {
+            // tree: |E| = |V| - 1, connected
+            assert_eq!(s.graph.num_edges(), s.graph.num_nodes() - 1);
+            assert!(s.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn edge_labels_survive_decomposition() {
+        let mut b = GraphBuilder::new(3);
+        b.set_label(0, 0).set_label(1, 1).set_label(2, 2);
+        b.add_labeled_edge(0, 1, 5).add_labeled_edge(1, 2, 6);
+        let q = b.build();
+        let subs = decompose(&q, 3);
+        let s0 = &subs[0];
+        let l0 = s0.graph.edges().map(|e| e.label).collect::<Vec<_>>();
+        assert!(l0.contains(&5) && l0.contains(&6));
+    }
+}

@@ -1,0 +1,251 @@
+//! Random connected-subgraph extraction — the query generator of §6.1.
+//!
+//! The paper generates query graphs "by randomly extracting connected
+//! subgraphs from the data graph" (following G-CARE / the in-memory
+//! subgraph-matching study). We implement snowball-style extraction with
+//! knobs for induced vs. sparsified edges and for dropping labels to
+//! wildcards.
+
+use crate::{Graph, GraphBuilder, NodeId, WILDCARD};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Options controlling query extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractOptions {
+    /// If true, keep *all* data edges among the selected nodes (induced
+    /// subgraph); otherwise keep the discovery spanning tree plus each
+    /// remaining induced edge independently with probability `extra_edge_prob`.
+    pub induced: bool,
+    /// Probability of keeping a non-tree induced edge when `induced == false`.
+    pub extra_edge_prob: f64,
+    /// Probability of replacing a node label with [`WILDCARD`] ("any").
+    pub wildcard_prob: f64,
+    /// Drop edge labels entirely (query on node labels only).
+    pub drop_edge_labels: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            induced: true,
+            extra_edge_prob: 0.5,
+            wildcard_prob: 0.0,
+            drop_edge_labels: false,
+        }
+    }
+}
+
+/// Extract one connected query graph with exactly `size` nodes.
+///
+/// Returns `None` if the random start lands in a component smaller than
+/// `size` (callers simply retry). The result's node ids are local
+/// (`0..size` in discovery order) and its labels are copied from the data
+/// graph, possibly degraded to wildcards per
+/// [`ExtractOptions::wildcard_prob`].
+pub fn extract_query<R: Rng>(
+    g: &Graph,
+    size: usize,
+    opts: &ExtractOptions,
+    rng: &mut R,
+) -> Option<Graph> {
+    if size == 0 || g.num_nodes() < size {
+        return None;
+    }
+    let start = rng.gen_range(0..g.num_nodes()) as NodeId;
+    let mut selected: Vec<NodeId> = vec![start];
+    let mut in_set = std::collections::HashSet::new();
+    in_set.insert(start);
+    // Frontier: all neighbors of the selected set not yet selected.
+    let mut frontier: Vec<NodeId> = g
+        .neighbors(start)
+        .iter()
+        .copied()
+        .filter(|v| !in_set.contains(v))
+        .collect();
+    while selected.len() < size {
+        if frontier.is_empty() {
+            return None; // component exhausted
+        }
+        let idx = rng.gen_range(0..frontier.len());
+        let v = frontier.swap_remove(idx);
+        if !in_set.insert(v) {
+            continue;
+        }
+        selected.push(v);
+        for &u in g.neighbors(v) {
+            if !in_set.contains(&u) {
+                frontier.push(u);
+            }
+        }
+    }
+
+    let mut local = std::collections::HashMap::new();
+    for (i, &v) in selected.iter().enumerate() {
+        local.insert(v, i as NodeId);
+    }
+    let mut b = GraphBuilder::new(size);
+    for (i, &v) in selected.iter().enumerate() {
+        if rng.gen_bool(opts.wildcard_prob.clamp(0.0, 1.0)) {
+            b.set_label(i as NodeId, WILDCARD);
+        } else {
+            b.set_label(i as NodeId, g.label(v));
+            for l in g.extra_labels(v) {
+                b.add_extra_label(i as NodeId, *l);
+            }
+        }
+    }
+    // Discovery tree edges: connect each node (after the first) to some
+    // earlier-selected neighbor, guaranteeing connectivity.
+    let mut induced_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (i, &v) in selected.iter().enumerate() {
+        for &u in g.neighbors(v) {
+            if let Some(&lu) = local.get(&u) {
+                if lu < i as NodeId {
+                    induced_edges.push((lu, i as NodeId));
+                }
+            }
+        }
+    }
+    // Pick a spanning structure first.
+    let mut connected_to_earlier = vec![false; size];
+    connected_to_earlier[0] = true;
+    let mut keep: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut rest: Vec<(NodeId, NodeId)> = Vec::new();
+    // For each node, keep the first edge linking it to an earlier node.
+    let mut shuffled = induced_edges.clone();
+    shuffled.shuffle(rng);
+    for &(a, bnode) in &shuffled {
+        if !connected_to_earlier[bnode as usize] {
+            connected_to_earlier[bnode as usize] = true;
+            keep.push((a, bnode));
+        } else {
+            rest.push((a, bnode));
+        }
+    }
+    if connected_to_earlier.iter().any(|&c| !c) {
+        return None; // should not happen given snowball growth
+    }
+    for &(a, c) in &rest {
+        if opts.induced || rng.gen_bool(opts.extra_edge_prob.clamp(0.0, 1.0)) {
+            keep.push((a, c));
+        }
+    }
+    for &(a, c) in &keep {
+        let (ou, ov) = (selected[a as usize], selected[c as usize]);
+        match g.edge_label(ou, ov) {
+            Some(l) if l != WILDCARD && !opts.drop_edge_labels => {
+                b.add_labeled_edge(a, c, l);
+            }
+            _ => {
+                b.add_edge(a, c);
+            }
+        }
+    }
+    Some(b.build())
+}
+
+/// Extract an *unlabeled* pattern (all nodes wildcard) of the given size,
+/// used by the §6.6 query-optimization workload before labels are assigned.
+pub fn extract_pattern<R: Rng>(
+    g: &Graph,
+    size: usize,
+    induced: bool,
+    rng: &mut R,
+) -> Option<Graph> {
+    let opts = ExtractOptions {
+        induced,
+        wildcard_prob: 1.0,
+        drop_edge_labels: true,
+        ..Default::default()
+    };
+    extract_query(g, size, &opts, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> Graph {
+        // 4x4 grid, labels = row index
+        let mut b = GraphBuilder::new(16);
+        for v in 0..16u32 {
+            b.set_label(v, v / 4);
+        }
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    b.add_edge(v, v + 1);
+                }
+                if r + 1 < 4 {
+                    b.add_edge(v, v + 4);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extracted_queries_are_connected_and_sized() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for size in 2..=8 {
+            for _ in 0..20 {
+                if let Some(q) = extract_query(&g, size, &ExtractOptions::default(), &mut rng) {
+                    assert_eq!(q.num_nodes(), size);
+                    assert!(q.is_connected());
+                    assert!(q.num_edges() >= size - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_copied_from_data_graph() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = extract_query(&g, 4, &ExtractOptions::default(), &mut rng).unwrap();
+        for v in q.nodes() {
+            assert!(q.label(v) < 4);
+        }
+    }
+
+    #[test]
+    fn wildcard_prob_one_drops_all_labels() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let q = extract_pattern(&g, 5, true, &mut rng).unwrap();
+        for v in q.nodes() {
+            assert_eq!(q.label(v), WILDCARD);
+        }
+    }
+
+    #[test]
+    fn oversized_request_returns_none() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(extract_query(&g, 17, &ExtractOptions::default(), &mut rng).is_none());
+        assert!(extract_query(&g, 0, &ExtractOptions::default(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn sparsified_extraction_keeps_connectivity() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let opts = ExtractOptions {
+            induced: false,
+            extra_edge_prob: 0.0,
+            ..Default::default()
+        };
+        for _ in 0..20 {
+            if let Some(q) = extract_query(&g, 6, &opts, &mut rng) {
+                assert!(q.is_connected());
+                assert_eq!(q.num_edges(), 5); // exactly a spanning tree
+            }
+        }
+    }
+}

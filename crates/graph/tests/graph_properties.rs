@@ -1,0 +1,138 @@
+//! Property tests for the graph substrate: CSR invariants, builder
+//! determinism, BFS trees, decomposition, extraction, and text IO.
+
+use alss_graph::extract::{extract_query, ExtractOptions};
+use alss_graph::io::{from_text, to_text};
+use alss_graph::labels::LabelStats;
+use alss_graph::{bfs_tree, decompose, Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u32..5, n),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..=2 * n),
+        )
+            .prop_map(move |(labels, edges)| {
+                let mut b = GraphBuilder::new(n);
+                b.set_labels(&labels);
+                for (u, v) in edges {
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_adjacency_is_sorted_and_symmetric(g in arbitrary_graph()) {
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency");
+            for &u in nb {
+                prop_assert!(g.neighbors(u).contains(&v), "asymmetric edge");
+            }
+        }
+        // handshake lemma
+        let total_degree: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total_degree, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn builder_is_deterministic(g in arbitrary_graph()) {
+        // rebuilding from the edge list yields the identical graph
+        let mut b = GraphBuilder::new(g.num_nodes());
+        for v in g.nodes() {
+            b.set_label(v, g.label(v));
+        }
+        for e in g.edges() {
+            b.add_edge(e.u, e.v);
+        }
+        prop_assert_eq!(b.build(), g.clone());
+    }
+
+    #[test]
+    fn text_io_roundtrip(g in arbitrary_graph()) {
+        prop_assert_eq!(from_text(&to_text(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn bfs_tree_depths_are_shortest_distances(g in arbitrary_graph(), root_pick in 0usize..10) {
+        let root = (root_pick % g.num_nodes()) as u32;
+        let t = bfs_tree(&g, root, u32::MAX);
+        // recompute distances by simple BFS
+        let mut dist = vec![u32::MAX; g.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[root as usize] = 0;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for (node, depth) in t.nodes.iter().zip(&t.depths) {
+            prop_assert_eq!(dist[*node as usize], *depth);
+        }
+        // tree contains exactly the reachable nodes
+        let reachable = dist.iter().filter(|&&d| d != u32::MAX).count();
+        prop_assert_eq!(t.nodes.len(), reachable);
+    }
+
+    #[test]
+    fn label_stats_frequencies_sum_to_node_count(g in arbitrary_graph()) {
+        let s = LabelStats::new(&g);
+        let total: u64 = (0..g.num_node_labels() as u32).map(|l| s.frequency(l)).sum();
+        prop_assert_eq!(total, g.num_nodes() as u64);
+        // selectivities in (0, 1]
+        for l in 0..g.num_node_labels() as u32 {
+            let sel = s.selectivity(l);
+            prop_assert!((0.0..=1.0).contains(&sel));
+        }
+        prop_assert!(s.entropy() >= -1e-9);
+        prop_assert!(s.entropy() <= (g.num_node_labels().max(1) as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn decomposition_node_sets_cover_bfs_balls(g in arbitrary_graph(), l in 1u32..4) {
+        for s in decompose(&g, l) {
+            // the substructure's nodes are within l hops of its root
+            let t = bfs_tree(&g, s.original[0], l);
+            let ball: std::collections::HashSet<_> = t.nodes.iter().collect();
+            for orig in &s.original {
+                prop_assert!(ball.contains(orig));
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_yields_connected_induced_subgraphs(
+        g in arbitrary_graph(),
+        size in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = ExtractOptions::default(); // induced
+        if let Some(q) = extract_query(&g, size, &opts, &mut rng) {
+            prop_assert_eq!(q.num_nodes(), size);
+            prop_assert!(q.is_connected());
+            // labels are a multiset-subset of the data graph's labels
+            let mut data_labels: Vec<u32> = g.nodes().map(|v| g.label(v)).collect();
+            for v in q.nodes() {
+                let lab = q.label(v);
+                let pos = data_labels.iter().position(|&d| d == lab);
+                prop_assert!(pos.is_some(), "label {} not in data graph", lab);
+                data_labels.swap_remove(pos.unwrap());
+            }
+        }
+    }
+}

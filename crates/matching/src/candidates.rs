@@ -1,0 +1,157 @@
+//! Candidate filtering (GraphQL-style) for the backtracking engine.
+
+use alss_graph::{Graph, NodeId, WILDCARD};
+
+/// A 64-bit Bloom-style signature of the labels appearing among a node's
+/// neighbors: bit `l % 64` is set when some neighbor has label `l`
+/// (all labels of a multi-labeled neighbor are included).
+///
+/// If query node `v` requires neighbor labels `S`, any valid image of `v`
+/// must have a signature that is a superset of `sig(S)` — a necessary
+/// condition under both homomorphism and isomorphism, so the filter is
+/// sound (it can only *fail to prune*, never prune a valid candidate).
+#[inline]
+fn neighbor_label_signature(g: &Graph, v: NodeId) -> u64 {
+    let mut sig = 0u64;
+    for &u in g.neighbors(v) {
+        for l in g.labels_of(u) {
+            sig |= 1u64 << (l % 64);
+        }
+    }
+    sig
+}
+
+/// Signature of the labels a *query* node demands of its neighbors: only
+/// primary labels (query nodes are single-labeled predicates).
+#[inline]
+fn required_neighbor_signature(q: &Graph, v: NodeId) -> u64 {
+    let mut sig = 0u64;
+    for &u in q.neighbors(v) {
+        let l = q.label(u);
+        if l != WILDCARD {
+            sig |= 1u64 << (l % 64);
+        }
+    }
+    sig
+}
+
+/// Precomputed per-data-node filter state.
+pub struct CandidateFilter<'g> {
+    data: &'g Graph,
+    data_sigs: Vec<u64>,
+}
+
+impl<'g> CandidateFilter<'g> {
+    /// Precompute neighbor-label signatures for all data nodes.
+    pub fn new(data: &'g Graph) -> Self {
+        let data_sigs = data
+            .nodes()
+            .map(|v| neighbor_label_signature(data, v))
+            .collect();
+        CandidateFilter { data, data_sigs }
+    }
+
+    /// The data graph this filter indexes.
+    pub fn data(&self) -> &'g Graph {
+        self.data
+    }
+
+    /// Is data node `dv` a feasible image of query node `qv`?
+    ///
+    /// * label match (always required);
+    /// * neighbor-label signature superset (required for both semantics —
+    ///   every *distinct* required neighbor label must occur among the
+    ///   image's neighbors);
+    /// * degree dominance (only valid for isomorphism, where distinct query
+    ///   neighbors need distinct images).
+    #[inline]
+    pub fn feasible(&self, q: &Graph, qv: NodeId, dv: NodeId, injective: bool) -> bool {
+        if !self.data.node_matches(dv, q.label(qv)) {
+            return false;
+        }
+        if injective && q.degree(qv) > self.data.degree(dv) {
+            return false;
+        }
+        let qsig = required_neighbor_signature(q, qv);
+        qsig & !self.data_sigs[dv as usize] == 0
+    }
+
+    /// All feasible images of query node `qv` (scans the data graph).
+    pub fn candidates(&self, q: &Graph, qv: NodeId, injective: bool) -> Vec<NodeId> {
+        self.data
+            .nodes()
+            .filter(|&dv| self.feasible(q, qv, dv, injective))
+            .collect()
+    }
+
+    /// Number of feasible images (used by the ordering heuristic without
+    /// materializing the candidate vectors).
+    pub fn candidate_count(&self, q: &Graph, qv: NodeId, injective: bool) -> usize {
+        self.data
+            .nodes()
+            .filter(|&dv| self.feasible(q, qv, dv, injective))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+
+    fn data() -> Graph {
+        // star: center label 0 with leaves labeled 1,2,3 + isolated-ish pair
+        graph_from_edges(&[0, 1, 2, 3, 0, 1], &[(0, 1), (0, 2), (0, 3), (4, 5)])
+    }
+
+    #[test]
+    fn label_filter() {
+        let d = data();
+        let f = CandidateFilter::new(&d);
+        let q = graph_from_edges(&[1, 0], &[(0, 1)]);
+        let c = f.candidates(&q, 0, false);
+        assert_eq!(c, vec![1, 5]);
+    }
+
+    #[test]
+    fn wildcard_query_node_matches_all_labels() {
+        let d = data();
+        let f = CandidateFilter::new(&d);
+        let q = graph_from_edges(&[WILDCARD], &[]);
+        assert_eq!(f.candidates(&q, 0, false).len(), 6);
+    }
+
+    #[test]
+    fn degree_filter_only_for_isomorphism() {
+        let d = data();
+        let f = CandidateFilter::new(&d);
+        // query: node 0 with three wildcard neighbors
+        let q = graph_from_edges(&[0, WILDCARD, WILDCARD, WILDCARD], &[(0, 1), (0, 2), (0, 3)]);
+        // iso: only the center (degree 3) qualifies
+        assert_eq!(f.candidates(&q, 0, true), vec![0]);
+        // homo: node 4 (degree 1, label 0) also qualifies — its single
+        // neighbor can serve as the image of all three query leaves
+        assert_eq!(f.candidates(&q, 0, false), vec![0, 4]);
+    }
+
+    #[test]
+    fn neighbor_label_signature_prunes() {
+        let d = data();
+        let f = CandidateFilter::new(&d);
+        // query node labeled 0 that must have a neighbor labeled 2
+        let q = graph_from_edges(&[0, 2], &[(0, 1)]);
+        // node 4 has label 0 but no neighbor labeled 2 → pruned even for homo
+        assert_eq!(f.candidates(&q, 0, false), vec![0]);
+    }
+
+    #[test]
+    fn candidate_count_matches_candidates() {
+        let d = data();
+        let f = CandidateFilter::new(&d);
+        let q = graph_from_edges(&[0, WILDCARD], &[(0, 1)]);
+        assert_eq!(
+            f.candidate_count(&q, 0, false),
+            f.candidates(&q, 0, false).len()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Shared backtracking engine behind the homomorphism and isomorphism
+//! counters. Kept private; use the `count_*` front doors.
+
+use crate::budget::{Budget, BudgetExceeded};
+use crate::candidates::CandidateFilter;
+use crate::order::{matching_order, MatchingOrder};
+use alss_graph::{label_matches, Graph, NodeId, WILDCARD};
+
+/// Immutable per-count context (shareable across worker threads).
+pub(crate) struct Context<'a> {
+    pub data: &'a Graph,
+    pub query: &'a Graph,
+    pub filter: CandidateFilter<'a>,
+    pub mo: MatchingOrder,
+    pub injective: bool,
+}
+
+impl<'a> Context<'a> {
+    pub fn new(data: &'a Graph, query: &'a Graph, injective: bool) -> Self {
+        let filter = CandidateFilter::new(data);
+        let mo = matching_order(query, &filter, injective);
+        Context {
+            data,
+            query,
+            filter,
+            mo,
+            injective,
+        }
+    }
+
+    /// Candidates of the first query node in the order.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.filter
+            .candidates(self.query, self.mo.order[0], self.injective)
+    }
+}
+
+/// Mutable per-worker search state.
+pub(crate) struct Search<'a, 'c> {
+    ctx: &'c Context<'a>,
+    /// Image of `mo.order[i]` for positions `< depth`.
+    map: Vec<NodeId>,
+}
+
+impl<'a, 'c> Search<'a, 'c> {
+    pub fn new(ctx: &'c Context<'a>) -> Self {
+        Search {
+            ctx,
+            map: vec![0; ctx.query.num_nodes()],
+        }
+    }
+
+    /// Count all completions with the root pinned to `root`.
+    pub fn count_from_root(&mut self, root: NodeId, budget: &Budget) -> Result<u64, BudgetExceeded> {
+        self.map[0] = root;
+        self.extend(1, budget)
+    }
+
+    /// Early-terminating existence search with the root pinned to `root`.
+    pub fn find_from_root(&mut self, root: NodeId, budget: &Budget) -> Result<bool, BudgetExceeded> {
+        self.map[0] = root;
+        self.find(1, budget)
+    }
+
+    #[inline]
+    fn used(&self, depth: usize, dv: NodeId) -> bool {
+        self.map[..depth].contains(&dv)
+    }
+
+    /// Verify `dv` against all backward constraints of position `pos`
+    /// except the anchor position `skip`.
+    #[inline]
+    fn backward_ok(&self, pos: usize, skip: usize, qv: NodeId, dv: NodeId) -> bool {
+        let ctx = self.ctx;
+        for &j in &ctx.mo.backward[pos] {
+            if j == skip {
+                continue;
+            }
+            let qu = ctx.mo.order[j];
+            let du = self.map[j];
+            match ctx.data.edge_label(du, dv) {
+                Some(dl) => {
+                    let ql = ctx
+                        .query
+                        .edge_label(qu, qv)
+                        .expect("backward neighbor implies query edge");
+                    if !label_matches(ql, dl) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn extend(&mut self, pos: usize, budget: &Budget) -> Result<u64, BudgetExceeded> {
+        let ctx = self.ctx;
+        let n = ctx.query.num_nodes();
+        if pos == n {
+            return Ok(1);
+        }
+        budget.charge(1)?;
+        let qv = ctx.mo.order[pos];
+        let bw = &ctx.mo.backward[pos];
+        let mut total: u64 = 0;
+
+        if bw.is_empty() {
+            // New connected component (rare; queries are usually connected):
+            // scan all feasible data nodes.
+            budget.charge(ctx.data.num_nodes() as u64)?;
+            for dv in ctx.data.nodes() {
+                if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                    continue;
+                }
+                if ctx.injective && self.used(pos, dv) {
+                    continue;
+                }
+                self.map[pos] = dv;
+                total = total.saturating_add(self.extend(pos + 1, budget)?);
+            }
+            return Ok(total);
+        }
+
+        // Anchor on the backward image with the smallest adjacency.
+        let &anchor = bw
+            .iter()
+            .min_by_key(|&&j| ctx.data.degree(self.map[j]))
+            .expect("non-empty backward set");
+        let au = self.map[anchor];
+        let ql_anchor = ctx
+            .query
+            .edge_label(ctx.mo.order[anchor], qv)
+            .expect("anchor implies query edge");
+
+        let neighbors = ctx.data.neighbors(au);
+        budget.charge(neighbors.len() as u64)?;
+        let edge_labels = ctx.data.neighbor_edge_labels(au);
+        for (i, &dv) in neighbors.iter().enumerate() {
+            let dl = edge_labels.map(|l| l[i]).unwrap_or(WILDCARD);
+            if !label_matches(ql_anchor, dl) {
+                continue;
+            }
+            if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                continue;
+            }
+            if ctx.injective && self.used(pos, dv) {
+                continue;
+            }
+            if !self.backward_ok(pos, anchor, qv, dv) {
+                continue;
+            }
+            self.map[pos] = dv;
+            total = total.saturating_add(self.extend(pos + 1, budget)?);
+        }
+        Ok(total)
+    }
+}
+
+impl<'a, 'c> Search<'a, 'c> {
+    /// Existence-only variant of `extend`: returns as soon as one full
+    /// mapping is found.
+    fn find(&mut self, pos: usize, budget: &Budget) -> Result<bool, BudgetExceeded> {
+        let ctx = self.ctx;
+        let n = ctx.query.num_nodes();
+        if pos == n {
+            return Ok(true);
+        }
+        budget.charge(1)?;
+        let qv = ctx.mo.order[pos];
+        let bw = &ctx.mo.backward[pos];
+
+        if bw.is_empty() {
+            budget.charge(ctx.data.num_nodes() as u64)?;
+            for dv in ctx.data.nodes() {
+                if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                    continue;
+                }
+                if ctx.injective && self.used(pos, dv) {
+                    continue;
+                }
+                self.map[pos] = dv;
+                if self.find(pos + 1, budget)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+
+        let &anchor = bw
+            .iter()
+            .min_by_key(|&&j| ctx.data.degree(self.map[j]))
+            .expect("non-empty backward set");
+        let au = self.map[anchor];
+        let ql_anchor = ctx
+            .query
+            .edge_label(ctx.mo.order[anchor], qv)
+            .expect("anchor implies query edge");
+        let neighbors = ctx.data.neighbors(au);
+        budget.charge(neighbors.len() as u64)?;
+        let edge_labels = ctx.data.neighbor_edge_labels(au);
+        for (i, &dv) in neighbors.iter().enumerate() {
+            let dl = edge_labels.map(|l| l[i]).unwrap_or(WILDCARD);
+            if !label_matches(ql_anchor, dl) {
+                continue;
+            }
+            if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                continue;
+            }
+            if ctx.injective && self.used(pos, dv) {
+                continue;
+            }
+            if !self.backward_ok(pos, anchor, qv, dv) {
+                continue;
+            }
+            self.map[pos] = dv;
+            if self.find(pos + 1, budget)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Sequential counting entry point shared by both semantics.
+pub(crate) fn count(
+    data: &Graph,
+    query: &Graph,
+    budget: &Budget,
+    injective: bool,
+) -> Result<u64, BudgetExceeded> {
+    if query.num_nodes() == 0 {
+        return Ok(1); // the empty mapping
+    }
+    let ctx = Context::new(data, query, injective);
+    let roots = ctx.roots();
+    budget.charge(roots.len() as u64)?;
+    let mut search = Search::new(&ctx);
+    let mut total: u64 = 0;
+    for r in roots {
+        total = total.saturating_add(search.count_from_root(r, budget)?);
+    }
+    Ok(total)
+}

@@ -1,0 +1,138 @@
+//! # alss-matching
+//!
+//! Exact subgraph counting by **homomorphism** and **subgraph isomorphism**
+//! over labeled undirected graphs — the ground-truth engine of the ALSS
+//! reproduction (standing in for Graphflow / GraphQL in §6.1, and for the
+//! `GFlow` / `GQL` series of Figs. 8–9).
+//!
+//! The engine is a backtracking search in the style of Ullmann's algorithm
+//! with the standard modern refinements analyzed in the paper's related
+//! work:
+//!
+//! * label + degree + neighbor-label **candidate filtering**
+//!   ([`candidates`]);
+//! * a greedy connected **matching order** that starts from the rarest
+//!   candidate set ([`order`]);
+//! * **budgeted** search — a node-expansion budget models the paper's
+//!   "true count computable within 2 hours" workload filter ([`budget`]);
+//! * rayon-**parallel** root splitting for workload labeling
+//!   ([`parallel`]).
+//!
+//! Counting is exact: the returned value is the number of homomorphism
+//! (resp. subgraph-isomorphism) functions `f : V_q → V` as defined in §2.
+//!
+//! ```
+//! use alss_graph::builder::graph_from_edges;
+//! use alss_matching::{count_homomorphisms, count_isomorphisms, Budget};
+//!
+//! let data = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]); // K3
+//! let path = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+//!
+//! let b = Budget::unlimited();
+//! assert_eq!(count_homomorphisms(&data, &path, &b).unwrap(), 12); // folds allowed
+//! assert_eq!(count_isomorphisms(&data, &path, &b).unwrap(), 6);   // injective only
+//! ```
+
+pub mod budget;
+pub(crate) mod engine;
+pub mod candidates;
+pub mod exists;
+pub mod homomorphism;
+pub mod isomorphism;
+pub mod order;
+pub mod parallel;
+
+pub use budget::{Budget, BudgetExceeded};
+pub use exists::{homomorphism_exists, isomorphism_exists};
+pub use homomorphism::count_homomorphisms;
+pub use isomorphism::count_isomorphisms;
+pub use parallel::{count_homomorphisms_parallel, count_isomorphisms_parallel};
+
+use alss_graph::Graph;
+
+/// Which matching semantics to count under (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Semantics {
+    /// Any structure/label-preserving function `f : V_q → V`.
+    Homomorphism,
+    /// Injective homomorphisms.
+    Isomorphism,
+}
+
+impl Semantics {
+    /// Count matchings of `query` in `data` under these semantics.
+    pub fn count(
+        self,
+        data: &Graph,
+        query: &Graph,
+        budget: &Budget,
+    ) -> Result<u64, BudgetExceeded> {
+        match self {
+            Semantics::Homomorphism => count_homomorphisms(data, query, budget),
+            Semantics::Isomorphism => count_isomorphisms(data, query, budget),
+        }
+    }
+
+    /// Parallel variant of [`Semantics::count`].
+    pub fn count_parallel(
+        self,
+        data: &Graph,
+        query: &Graph,
+        budget: &Budget,
+    ) -> Result<u64, BudgetExceeded> {
+        match self {
+            Semantics::Homomorphism => count_homomorphisms_parallel(data, query, budget),
+            Semantics::Isomorphism => count_isomorphisms_parallel(data, query, budget),
+        }
+    }
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Semantics::Homomorphism => write!(f, "homomorphism"),
+            Semantics::Isomorphism => write!(f, "isomorphism"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod semantics_tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let d = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let b = Budget::unlimited();
+        assert_eq!(
+            Semantics::Homomorphism.count(&d, &q, &b).unwrap(),
+            count_homomorphisms(&d, &q, &Budget::unlimited()).unwrap()
+        );
+        assert_eq!(
+            Semantics::Isomorphism.count(&d, &q, &b).unwrap(),
+            count_isomorphisms(&d, &q, &Budget::unlimited()).unwrap()
+        );
+        // parallel dispatch agrees too
+        assert_eq!(
+            Semantics::Homomorphism
+                .count_parallel(&d, &q, &Budget::unlimited())
+                .unwrap(),
+            Semantics::Homomorphism.count(&d, &q, &Budget::unlimited()).unwrap()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Semantics::Homomorphism.to_string(), "homomorphism");
+        assert_eq!(Semantics::Isomorphism.to_string(), "isomorphism");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Semantics::Isomorphism).unwrap();
+        let back: Semantics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Semantics::Isomorphism);
+    }
+}

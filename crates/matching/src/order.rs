@@ -1,0 +1,129 @@
+//! Matching-order selection.
+//!
+//! We use the greedy connected ordering common to GraphQL/RI-family
+//! matchers: start from the query node with the fewest candidates, then
+//! repeatedly append the unmatched node with the most already-ordered
+//! neighbors (maximizing pruning), breaking ties by smaller candidate
+//! count, then by node id for determinism.
+
+use crate::candidates::CandidateFilter;
+use alss_graph::{Graph, NodeId};
+
+/// A matching order over query nodes plus, for each position, the list of
+/// earlier positions adjacent in the query (the "backward neighbors" whose
+/// images constrain the current node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchingOrder {
+    /// Query node at each position.
+    pub order: Vec<NodeId>,
+    /// For each position `i > 0`, positions `j < i` with
+    /// `(order[j], order[i]) ∈ E_q`. Empty only for position 0 (or for
+    /// disconnected queries, where a new component starts).
+    pub backward: Vec<Vec<usize>>,
+}
+
+/// Compute a matching order for `q` against the data indexed by `filter`.
+pub fn matching_order(q: &Graph, filter: &CandidateFilter<'_>, injective: bool) -> MatchingOrder {
+    let n = q.num_nodes();
+    assert!(n > 0, "empty query graph");
+    let counts: Vec<usize> = q
+        .nodes()
+        .map(|v| filter.candidate_count(q, v, injective))
+        .collect();
+
+    let mut placed = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let start = (0..n)
+        .min_by_key(|&v| (counts[v], v))
+        .expect("non-empty query") as NodeId;
+    order.push(start);
+    placed[start as usize] = true;
+
+    while order.len() < n {
+        // connectivity to placed set
+        let mut best: Option<(usize, usize, NodeId)> = None; // (-conn, count, id)
+        for v in q.nodes() {
+            if placed[v as usize] {
+                continue;
+            }
+            let conn = q
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| placed[u as usize])
+                .count();
+            let key = (usize::MAX - conn, counts[v as usize], v);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, v) = best.expect("some node remains");
+        order.push(v);
+        placed[v as usize] = true;
+    }
+
+    let pos_of: Vec<usize> = {
+        let mut p = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            p[v as usize] = i;
+        }
+        p
+    };
+    let backward = order
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let mut b: Vec<usize> = q
+                .neighbors(v)
+                .iter()
+                .map(|&u| pos_of[u as usize])
+                .filter(|&j| j < i)
+                .collect();
+            b.sort_unstable();
+            b
+        })
+        .collect();
+    MatchingOrder { order, backward }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+
+    #[test]
+    fn order_is_a_permutation_and_connected() {
+        let d = graph_from_edges(&[0, 1, 2, 0, 1, 2], &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let f = CandidateFilter::new(&d);
+        let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let mo = matching_order(&q, &f, false);
+        let mut sorted = mo.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        // every non-first position has at least one backward neighbor
+        for i in 1..mo.order.len() {
+            assert!(!mo.backward[i].is_empty(), "position {i} disconnected");
+        }
+        assert!(mo.backward[0].is_empty());
+    }
+
+    #[test]
+    fn starts_from_rarest_label() {
+        // data: many label-0 nodes, one label-1 node
+        let d = graph_from_edges(&[0, 0, 0, 0, 1], &[(0, 4), (1, 4), (2, 4), (3, 4)]);
+        let f = CandidateFilter::new(&d);
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let mo = matching_order(&q, &f, false);
+        assert_eq!(mo.order[0], 1, "should start from the rare label-1 node");
+    }
+
+    #[test]
+    fn backward_neighbors_reflect_query_edges() {
+        let d = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let f = CandidateFilter::new(&d);
+        // triangle query
+        let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let mo = matching_order(&q, &f, false);
+        assert_eq!(mo.backward[1].len(), 1);
+        assert_eq!(mo.backward[2].len(), 2); // closes the triangle
+    }
+}

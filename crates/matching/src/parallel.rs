@@ -1,0 +1,122 @@
+//! Rayon-parallel counting: split the search across the root candidates.
+//!
+//! Used when labeling training workloads with true counts (the paper runs
+//! ground-truth computation on 32 CPUs). The expansion [`Budget`] is shared
+//! across workers, so the total work bound matches the sequential engine.
+
+use crate::budget::{Budget, BudgetExceeded};
+use crate::engine::{Context, Search};
+use alss_graph::Graph;
+use rayon::prelude::*;
+
+fn count_parallel(
+    data: &Graph,
+    query: &Graph,
+    budget: &Budget,
+    injective: bool,
+) -> Result<u64, BudgetExceeded> {
+    if query.num_nodes() == 0 {
+        return Ok(1);
+    }
+    let ctx = Context::new(data, query, injective);
+    let roots = ctx.roots();
+    budget.charge(roots.len() as u64)?;
+    roots
+        .par_iter()
+        .map(|&r| {
+            let mut search = Search::new(&ctx);
+            search.count_from_root(r, budget)
+        })
+        .try_reduce(|| 0u64, |a, b| Ok(a.saturating_add(b)))
+}
+
+/// Parallel [`crate::count_homomorphisms`].
+pub fn count_homomorphisms_parallel(
+    data: &Graph,
+    query: &Graph,
+    budget: &Budget,
+) -> Result<u64, BudgetExceeded> {
+    count_parallel(data, query, budget, false)
+}
+
+/// Parallel [`crate::count_isomorphisms`].
+pub fn count_isomorphisms_parallel(
+    data: &Graph,
+    query: &Graph,
+    budget: &Budget,
+) -> Result<u64, BudgetExceeded> {
+    count_parallel(data, query, budget, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count_homomorphisms, count_isomorphisms};
+    use alss_graph::builder::graph_from_edges;
+    use alss_graph::{Graph, GraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: usize, m: usize, labels: u32, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 {
+            b.set_label(v, rng.gen_range(0..labels));
+        }
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_hom() {
+        let d = random_graph(60, 180, 3, 1);
+        for seed in 0..5 {
+            let q = random_graph(4, 5, 3, 100 + seed);
+            if !q.is_connected() {
+                continue;
+            }
+            let seq = count_homomorphisms(&d, &q, &Budget::unlimited()).unwrap();
+            let par = count_homomorphisms_parallel(&d, &q, &Budget::unlimited()).unwrap();
+            assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_iso() {
+        let d = random_graph(60, 180, 3, 2);
+        for seed in 0..5 {
+            let q = random_graph(4, 5, 3, 200 + seed);
+            if !q.is_connected() {
+                continue;
+            }
+            let seq = count_isomorphisms(&d, &q, &Budget::unlimited()).unwrap();
+            let par = count_isomorphisms_parallel(&d, &q, &Budget::unlimited()).unwrap();
+            assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_budget_aborts_parallel_search() {
+        let d = random_graph(100, 600, 2, 3);
+        let q = random_graph(5, 8, 2, 300);
+        let b = Budget::new(10);
+        assert_eq!(
+            count_homomorphisms_parallel(&d, &q, &b),
+            Err(BudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn empty_query_short_circuits() {
+        let d = graph_from_edges(&[0], &[]);
+        let q = GraphBuilder::new(0).build();
+        assert_eq!(
+            count_homomorphisms_parallel(&d, &q, &Budget::unlimited()).unwrap(),
+            1
+        );
+    }
+}

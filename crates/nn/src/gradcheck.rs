@@ -1,0 +1,166 @@
+//! Finite-difference gradient checking.
+//!
+//! Every autograd op in [`crate::tape`] is validated against central
+//! differences; this module provides the harness, used heavily by this
+//! crate's tests and available to downstream crates (e.g. `alss-core`
+//! grad-checks the full LSS model on tiny inputs).
+
+use crate::param::ParamStore;
+use crate::tape::{Tape, Var};
+
+/// Result of a gradient check: maximum relative error observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative discrepancy between analytic and numeric gradients.
+    pub max_rel_err: f32,
+    /// Number of scalar weights checked.
+    pub checked: usize,
+}
+
+/// Compare analytic parameter gradients against central finite differences.
+///
+/// `build` must construct a *deterministic* scalar loss on the provided
+/// tape (use eval-mode behavior: the tape passed in is eval-mode so dropout
+/// is inert). Returns the worst relative error
+/// `|g_a − g_n| / max(1, |g_a|, |g_n|)`.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    eps: f32,
+    build: impl Fn(&mut Tape, &ParamStore) -> Var,
+) -> GradCheckReport {
+    // Analytic gradients.
+    store.zero_grads();
+    let mut tape = Tape::new(false);
+    let loss = build(&mut tape, store);
+    tape.backward(loss, store);
+    let analytic: Vec<Vec<f32>> = store
+        .ids()
+        .map(|id| store.grad(id).data().to_vec())
+        .collect();
+
+    let mut max_rel_err = 0.0f32;
+    let mut checked = 0usize;
+    let ids: Vec<_> = store.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        let n = store.value(*id).len();
+        #[allow(clippy::needless_range_loop)] // e indexes two containers
+        for e in 0..n {
+            let orig = store.value(*id).data()[e];
+            store.value_mut(*id).data_mut()[e] = orig + eps;
+            let mut tp = Tape::new(false);
+            let lp = build(&mut tp, store);
+            let fp = tp.value(lp).scalar();
+
+            store.value_mut(*id).data_mut()[e] = orig - eps;
+            let mut tm = Tape::new(false);
+            let lm = build(&mut tm, store);
+            let fm = tm.value(lm).scalar();
+
+            store.value_mut(*id).data_mut()[e] = orig;
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic[pi][e];
+            let rel = (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0);
+            if rel > max_rel_err {
+                max_rel_err = rel;
+            }
+            checked += 1;
+        }
+    }
+    GradCheckReport {
+        max_rel_err,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::SelfAttention;
+    use crate::gin::{adjacency_from_edges, GinEncoder};
+    use crate::linear::{Activation, Mlp};
+    use crate::loss::{cross_entropy_loss, mse_log_loss, multi_task_loss};
+    use crate::mat::Mat;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const TOL: f32 = 2e-2; // f32 finite differences are noisy
+
+    #[test]
+    fn gradcheck_mlp_with_mse() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 4, 1], Activation::Tanh, 0.0, &mut rng);
+        let x = Mat::from_vec(2, 3, vec![0.5, -0.2, 0.1, 0.9, 0.4, -0.7]);
+        let report = check_gradients(&mut store, 1e-2, |t, s| {
+            let mut r = SmallRng::seed_from_u64(0);
+            let xv = t.input(x.clone());
+            let y = mlp.forward(t, s, xv, &mut r);
+            mse_log_loss(t, y, &[1.0, 2.0])
+        });
+        assert!(report.max_rel_err < TOL, "{report:?}");
+        assert!(report.checked > 10);
+    }
+
+    #[test]
+    fn gradcheck_attention() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let mut store = ParamStore::new();
+        let att = SelfAttention::new(&mut store, "a", 3, 4, 2, &mut rng);
+        let h = Mat::from_vec(3, 3, vec![0.2, 0.5, -0.3, 0.7, -0.1, 0.4, 0.0, 0.3, 0.9]);
+        let report = check_gradients(&mut store, 1e-2, |t, s| {
+            let hv = t.input(h.clone());
+            let (eq, _) = att.forward(t, s, hv);
+            let sq = t.mul(eq, eq);
+            t.mean_all(sq)
+        });
+        assert!(report.max_rel_err < TOL, "{report:?}");
+    }
+
+    #[test]
+    fn gradcheck_gin_encoder() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let mut store = ParamStore::new();
+        // tanh activation: ReLU kinks make central differences unreliable
+        let enc = GinEncoder::with_activation(
+            &mut store,
+            "g",
+            2,
+            3,
+            2,
+            0,
+            0.0,
+            Activation::Tanh,
+            &mut rng,
+        );
+        let adj = adjacency_from_edges(3, &[(0, 1), (1, 2)]);
+        let x = Mat::from_vec(3, 2, vec![0.4, 0.1, -0.5, 0.8, 0.2, -0.2]);
+        let report = check_gradients(&mut store, 1e-2, |t, s| {
+            let mut r = SmallRng::seed_from_u64(0);
+            let xv = t.input(x.clone());
+            let h = enc.encode(t, s, xv, &adj, None, &mut r);
+            let sq = t.mul(h, h);
+            t.mean_all(sq)
+        });
+        assert!(report.max_rel_err < TOL, "{report:?}");
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy_and_multitask() {
+        let mut rng = SmallRng::seed_from_u64(45);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[2, 5, 4], Activation::Relu, 0.0, &mut rng);
+        let x = Mat::from_vec(2, 2, vec![0.3, -0.6, 0.8, 0.2]);
+        let report = check_gradients(&mut store, 1e-2, |t, s| {
+            let mut r = SmallRng::seed_from_u64(0);
+            let xv = t.input(x.clone());
+            let out = mlp.forward(t, s, xv, &mut r);
+            let reg = t.slice_cols(out, 0, 1);
+            let cla = t.slice_cols(out, 1, 4);
+            let lr = mse_log_loss(t, reg, &[0.5, 1.5]);
+            let lc = cross_entropy_loss(t, cla, &[0, 2]);
+            multi_task_loss(t, lr, lc, 1.0 / 3.0)
+        });
+        assert!(report.max_rel_err < TOL, "{report:?}");
+    }
+}

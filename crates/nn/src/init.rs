@@ -1,0 +1,52 @@
+//! Weight initialization.
+
+use crate::mat::Mat;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `fan_in × fan_out` weight.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Mat {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Mat::from_vec(
+        fan_in,
+        fan_out,
+        (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect(),
+    )
+}
+
+/// He/Kaiming uniform initialization (for ReLU layers).
+pub fn he_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Mat {
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Mat::from_vec(
+        fan_in,
+        fan_out,
+        (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound_and_nonconstant() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+        let first = w.data()[0];
+        assert!(w.data().iter().any(|&x| (x - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn he_bound_scales_with_fan_in() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = he_uniform(6, 10, &mut rng);
+        assert!(w.data().iter().all(|&x| x.abs() <= 1.0 + 1e-6));
+    }
+}

@@ -1,0 +1,66 @@
+//! # alss-nn
+//!
+//! A from-scratch neural-network stack sufficient to express the LSS model
+//! of *A Learned Sketch for Subgraph Counting* (SIGMOD 2021) — replacing
+//! PyTorch + PyTorch Geometric in the original implementation.
+//!
+//! Components:
+//!
+//! * [`mat::Mat`] — dense `f32` matrices;
+//! * [`tape::Tape`] — define-by-run reverse-mode autodiff over the op set
+//!   the LSS architecture needs (matmul, broadcasts, ReLU/tanh/softmax,
+//!   dropout, GIN graph aggregation, concat/slice/flatten);
+//! * [`param::ParamStore`] — persistent parameters with gradient routing;
+//! * [`linear`] — `Linear` / `Mlp` layers; [`gin`] — GIN encoder;
+//!   [`attention`] — structured self-attention (Algorithm 1, lines 8–11);
+//! * [`loss`] — Eq. (3)/(5)/(6) losses; [`adam`] — Adam with weight decay
+//!   and LR decay;
+//! * [`gradcheck`] — finite-difference validation used by the test suite.
+//!
+//! Determinism: all stochastic behavior (init, dropout) is driven by a
+//! caller-provided `rand::Rng`, so training runs are reproducible.
+//!
+//! ```
+//! use alss_nn::{Activation, Adam, AdamConfig, Mat, Mlp, ParamStore, Tape};
+//! use alss_nn::loss::mse_log_loss;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // fit y = 2x with a tiny MLP
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "m", &[1, 8, 1], Activation::Tanh, 0.0, &mut rng);
+//! let mut adam = Adam::new(AdamConfig { lr: 0.02, weight_decay: 0.0, ..Default::default() }, &store);
+//! for _ in 0..200 {
+//!     store.zero_grads();
+//!     let mut tape = Tape::new(true);
+//!     let x = tape.input(Mat::from_vec(4, 1, vec![0.0, 0.25, 0.5, 1.0]));
+//!     let y = mlp.forward(&mut tape, &store, x, &mut rng);
+//!     let loss = mse_log_loss(&mut tape, y, &[0.0, 0.5, 1.0, 2.0]);
+//!     tape.backward(loss, &mut store);
+//!     adam.step(&mut store);
+//! }
+//! // evaluate at x = 0.75 → ≈ 1.5
+//! let mut tape = Tape::new(false);
+//! let x = tape.input(Mat::from_vec(1, 1, vec![0.75]));
+//! let y = mlp.forward(&mut tape, &store, x, &mut rng);
+//! assert!((tape.value(y).scalar() - 1.5).abs() < 0.2);
+//! ```
+
+pub mod adam;
+pub mod attention;
+pub mod gin;
+pub mod gradcheck;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod mat;
+pub mod param;
+pub mod tape;
+
+pub use adam::{Adam, AdamConfig};
+pub use attention::SelfAttention;
+pub use gin::{adjacency_from_edges, edge_feature_sums, Aggregation, GinEncoder, GinLayer};
+pub use linear::{Activation, Linear, Mlp};
+pub use mat::Mat;
+pub use param::{ParamId, ParamStore};
+pub use tape::{Adjacency, Tape, Var};

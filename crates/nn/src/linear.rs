@@ -1,0 +1,218 @@
+//! Linear layers and multi-layer perceptrons.
+
+use crate::init::xavier_uniform;
+use crate::mat::Mat;
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply on a tape node.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::None => x,
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+        }
+    }
+}
+
+/// A dense layer `y = x W + b` (bias optional — the paper's attention MLP
+/// is bias-free).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Create with Xavier-initialized weights.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.add(format!("{name}.b"), Mat::zeros(1, out_dim)));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Forward: `x (n × in) → (n × out)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(tape.value(x).cols(), self.in_dim, "linear input dim");
+        let w = tape.param(store, self.w);
+        let xw = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(store, b);
+                tape.add_row(xw, bv)
+            }
+            None => xw,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id (tests/inspection).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+}
+
+/// A multi-layer perceptron with a fixed hidden activation, optional
+/// dropout after each hidden layer, and a linear output layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    dropout: f32,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, ..., out]`; requires at least one layer.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least in/out dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp {
+            layers,
+            activation,
+            dropout,
+        }
+    }
+
+    /// Forward pass; dropout is active only on training tapes.
+    pub fn forward<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        rng: &mut R,
+    ) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i < last {
+                h = self.activation.apply(tape, h);
+                h = tape.dropout(h, self.dropout, rng);
+            }
+        }
+        h
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty MLP").out_dim()
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty MLP").in_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, "l", 3, 5, true, &mut rng);
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::zeros(4, 3));
+        let y = l.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (4, 5));
+    }
+
+    #[test]
+    fn bias_free_layer_registers_one_param() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _ = Linear::new(&mut store, "nb", 2, 2, false, &mut rng);
+        assert_eq!(store.num_params(), 1);
+    }
+
+    #[test]
+    fn mlp_learns_identity_direction() {
+        // single gradient step reduces loss on y = x task
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[2, 8, 1], Activation::Relu, 0.0, &mut rng);
+        let data = Mat::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let target = Mat::from_vec(4, 1, vec![0., 1., 1., 2.]);
+
+        let loss_at = |store: &ParamStore, rng: &mut SmallRng| {
+            let mut t = Tape::new(false);
+            let x = t.input(data.clone());
+            let y = mlp.forward(&mut t, store, x, rng);
+            let tv = t.input(target.clone());
+            let d = t.sub(y, tv);
+            let d2 = t.mul(d, d);
+            let l = t.mean_all(d2);
+            t.value(l).scalar()
+        };
+
+        let before = loss_at(&store, &mut rng);
+        // one manual SGD step
+        let mut t = Tape::new(true);
+        let x = t.input(data.clone());
+        let y = mlp.forward(&mut t, &store, x, &mut rng);
+        let tv = t.input(target.clone());
+        let d = t.sub(y, tv);
+        let d2 = t.mul(d, d);
+        let l = t.mean_all(d2);
+        store.zero_grads();
+        t.backward(l, &mut store);
+        for id in store.ids().collect::<Vec<_>>() {
+            let g = store.grad(id).clone();
+            store.value_mut(id).add_scaled_assign(&g, -0.1);
+        }
+        let after = loss_at(&store, &mut rng);
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Parameter storage shared across forward passes.
+//!
+//! The tape ([`crate::tape::Tape`]) is rebuilt per forward pass (define-by-
+//! run, like PyTorch); learnable parameters persist here. Gradients are
+//! accumulated into the store by `Tape::backward` and consumed by the
+//! optimizer ([`crate::adam::Adam`]).
+
+use crate::mat::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owning store of all learnable parameters of a model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Mat>,
+    grads: Vec<Mat>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore {
+            values: Vec::new(),
+            grads: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Register a parameter with an initial value. The name is diagnostic
+    /// (checkpoint inspection, tests).
+    pub fn add(&mut self, name: impl Into<String>, value: Mat) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Mat::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Current value of a parameter.
+    #[inline]
+    pub fn value(&self, id: ParamId) -> &Mat {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (optimizer use).
+    #[inline]
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Mat {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    #[inline]
+    pub fn grad(&self, id: ParamId) -> &Mat {
+        &self.grads[id.0]
+    }
+
+    /// Add `g` into the parameter's gradient accumulator.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Mat) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Reset all gradients to zero (call before each optimization step's
+    /// backward passes).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters (tensors).
+    pub fn num_params(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+
+    /// Iterate over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// L2 norm over all parameters (diagnostics / tests).
+    pub fn weight_norm(&self) -> f32 {
+        self.values
+            .iter()
+            .map(|m| m.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Mat::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        assert_eq!(s.value(w).get(1, 0), 3.0);
+        assert_eq!(s.name(w), "w");
+        assert_eq!(s.num_params(), 1);
+        assert_eq!(s.num_weights(), 4);
+    }
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Mat::zeros(1, 2));
+        s.accumulate_grad(w, &Mat::row_vector(&[1.0, 2.0]));
+        s.accumulate_grad(w, &Mat::row_vector(&[0.5, 0.5]));
+        assert_eq!(s.grad(w).data(), &[1.5, 2.5]);
+        s.zero_grads();
+        assert_eq!(s.grad(w).data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,639 @@
+//! Define-by-run reverse-mode automatic differentiation on [`Mat`].
+//!
+//! A [`Tape`] is built per forward pass; every operation eagerly computes
+//! its value and records an [`Op`] node. [`Tape::backward`] walks the tape
+//! in reverse, accumulating gradients; gradients of [`Tape::param`] leaves
+//! are routed into the [`ParamStore`].
+//!
+//! The op set is exactly what the LSS architecture needs (GIN message
+//! passing, structured self-attention, MLPs, the Eq. 3/5 losses) plus a
+//! finite-difference grad-checker in [`crate::gradcheck`] that every op is
+//! tested against.
+
+use crate::mat::Mat;
+use crate::param::{ParamId, ParamStore};
+use std::rc::Rc;
+
+/// Handle to a tape node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Fixed (non-differentiable) adjacency of a substructure for GIN
+/// aggregation: `adj[v]` lists the neighbors of local node `v`.
+pub type Adjacency = Rc<Vec<Vec<u32>>>;
+
+enum Op {
+    Leaf,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `a (n×c) + row (1×c)` broadcast over rows.
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    SoftmaxRows(Var),
+    LogSoftmaxRows(Var),
+    /// Mask already includes the inverted-dropout `1/(1-p)` scaling.
+    Dropout(Var, Vec<f32>),
+    SumAll(Var),
+    MeanAll(Var),
+    SumRows(Var),
+    ConcatRows(Vec<Var>),
+    ConcatCols(Var, Var),
+    Transpose(Var),
+    SliceCols(Var, usize, usize),
+    /// `(A + (1+eps) I) X` for a fixed symmetric adjacency (GIN aggregate).
+    GraphAgg(Var, Adjacency, f32),
+    Flatten(Var),
+}
+
+struct Node {
+    value: Mat,
+    op: Op,
+}
+
+/// A gradient tape. Create one per forward pass.
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Mat>>,
+    train: bool,
+}
+
+impl Tape {
+    /// New tape. `train` controls stochastic ops (dropout).
+    pub fn new(train: bool) -> Self {
+        Tape {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            train,
+        }
+    }
+
+    /// Whether the tape is in training mode.
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    fn push(&mut self, value: Mat, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Mat {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`] (zeros if unreached).
+    pub fn grad(&self, v: Var) -> Mat {
+        match &self.grads.get(v.0) {
+            Some(Some(g)) => g.clone(),
+            _ => {
+                let m = &self.nodes[v.0].value;
+                Mat::zeros(m.rows(), m.cols())
+            }
+        }
+    }
+
+    /// Insert a constant (non-learnable) input.
+    pub fn input(&mut self, value: Mat) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Insert a learnable parameter (copies the current value from the
+    /// store; the backward pass routes the gradient back).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(x.shape(), y.shape(), "add shape mismatch");
+        let mut v = x.clone();
+        v.add_assign(y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Row-broadcast sum: `a (n×c) + row (1×c)`.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (x, r) = (&self.nodes[a.0].value, &self.nodes[row.0].value);
+        assert_eq!(r.rows(), 1, "add_row needs a row vector");
+        assert_eq!(x.cols(), r.cols(), "add_row col mismatch");
+        let mut v = x.clone();
+        for i in 0..v.rows() {
+            for (o, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
+                *o += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(x.shape(), y.shape(), "sub shape mismatch");
+        let mut v = x.clone();
+        v.add_scaled_assign(y, -1.0);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(x.shape(), y.shape(), "mul shape mismatch");
+        let v = Mat::from_vec(
+            x.rows(),
+            x.cols(),
+            x.data().iter().zip(y.data()).map(|(&p, &q)| p * q).collect(),
+        );
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let mut v = x.clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for e in row.iter_mut() {
+                *e = (*e - max).exp();
+                sum += *e;
+            }
+            for e in row.iter_mut() {
+                *e /= sum;
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise log-softmax (numerically stable; for cross-entropy).
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let mut v = x.clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max
+                + row
+                    .iter()
+                    .map(|&e| (e - max).exp())
+                    .sum::<f32>()
+                    .ln();
+            for e in row.iter_mut() {
+                *e -= lse;
+            }
+        }
+        self.push(v, Op::LogSoftmaxRows(a))
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. Identity when the
+    /// tape is in eval mode or `p == 0`.
+    pub fn dropout<R: rand::Rng>(&mut self, a: Var, p: f32, rng: &mut R) -> Var {
+        if !self.train || p <= 0.0 {
+            return a;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let x = &self.nodes[a.0].value;
+        let scale = 1.0 / (1.0 - p);
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale })
+            .collect();
+        let v = Mat::from_vec(
+            x.rows(),
+            x.cols(),
+            x.data().iter().zip(&mask).map(|(&e, &m)| e * m).collect(),
+        );
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    /// Sum of all elements → `1 × 1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Mat::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements → `1 × 1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let v = Mat::from_vec(1, 1, vec![x.sum() / x.len() as f32]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Column-wise sum over rows: `(n×c) → (1×c)` (the GIN sum-Readout).
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let mut v = Mat::zeros(1, x.cols());
+        for i in 0..x.rows() {
+            for (o, &e) in v.row_mut(0).iter_mut().zip(x.row(i)) {
+                *o += e;
+            }
+        }
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Vertically stack matrices with equal column counts.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let mats: Vec<&Mat> = parts.iter().map(|&p| &self.nodes[p.0].value).collect();
+        let v = Mat::stack_rows(&mats);
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Horizontally concatenate `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Column slice `a[:, start..end]`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let x = &self.nodes[a.0].value;
+        assert!(start <= end && end <= x.cols(), "slice out of range");
+        let mut v = Mat::zeros(x.rows(), end - start);
+        for i in 0..x.rows() {
+            v.row_mut(i).copy_from_slice(&x.row(i)[start..end]);
+        }
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// GIN aggregation for a fixed symmetric adjacency:
+    /// `out[v] = (1+eps) · x[v] + Σ_{u ∈ adj[v]} x[u]`.
+    pub fn graph_agg(&mut self, x: Var, adj: Adjacency, eps: f32) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.rows(), adj.len(), "adjacency/feature row mismatch");
+        let mut v = xv.map(|e| e * (1.0 + eps));
+        for (node, nbrs) in adj.iter().enumerate() {
+            for &u in nbrs {
+                for c in 0..xv.cols() {
+                    let add = xv.get(u as usize, c);
+                    v.set(node, c, v.get(node, c) + add);
+                }
+            }
+        }
+        self.push(v, Op::GraphAgg(x, adj, eps))
+    }
+
+    /// Reshape `(r×c)` into a `(1, r·c)` row vector.
+    pub fn flatten(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let v = Mat::from_vec(1, x.len(), x.data().to_vec());
+        self.push(v, Op::Flatten(a))
+    }
+
+    fn add_grad(&mut self, v: Var, g: Mat) {
+        match &mut self.grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Reverse pass from a scalar `loss` node; parameter gradients are
+    /// accumulated into `store`, node gradients are retained for
+    /// [`Tape::grad`].
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward from non-scalar"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[loss.0] = Some(Mat::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.grads[i].clone() else {
+                continue;
+            };
+            // Split borrows: read values immutably, write grads via helper.
+            match &self.nodes[i].op {
+                Op::Leaf => {}
+                Op::Param(id) => {
+                    let id = *id;
+                    store.accumulate_grad(id, &g);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let da = g.matmul(&bv.transpose());
+                    let db = av.transpose().matmul(&g);
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, g.clone());
+                    self.add_grad(b, g);
+                }
+                Op::AddRow(a, row) => {
+                    let (a, row) = (*a, *row);
+                    let mut dr = Mat::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &e) in dr.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += e;
+                        }
+                    }
+                    self.add_grad(a, g);
+                    self.add_grad(row, dr);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, g.clone());
+                    self.add_grad(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let mut da = g.clone();
+                    for (d, &x) in da.data_mut().iter_mut().zip(bv.data()) {
+                        *d *= x;
+                    }
+                    let mut db = g;
+                    for (d, &x) in db.data_mut().iter_mut().zip(av.data()) {
+                        *d *= x;
+                    }
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Scale(a, s) => {
+                    let (a, s) = (*a, *s);
+                    self.add_grad(a, g.map(|x| x * s));
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let xv = self.nodes[a.0].value.clone();
+                    let mut dx = g;
+                    for (d, &x) in dx.data_mut().iter_mut().zip(xv.data()) {
+                        if x <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let yv = self.nodes[i].value.clone();
+                    let mut dx = g;
+                    for (d, &y) in dx.data_mut().iter_mut().zip(yv.data()) {
+                        *d *= 1.0 - y * y;
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    let y = self.nodes[i].value.clone();
+                    let mut dx = Mat::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&dg, &yy)| dg * yy)
+                            .sum();
+                        for c in 0..y.cols() {
+                            dx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    let a = *a;
+                    let y = self.nodes[i].value.clone(); // log-probs
+                    let mut dx = Mat::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let gsum: f32 = g.row(r).iter().sum();
+                        for c in 0..y.cols() {
+                            dx.set(r, c, g.get(r, c) - y.get(r, c).exp() * gsum);
+                        }
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::Dropout(a, mask) => {
+                    let a = *a;
+                    let mask = mask.clone();
+                    let mut dx = g;
+                    for (d, &m) in dx.data_mut().iter_mut().zip(&mask) {
+                        *d *= m;
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let dx = Mat::full(x.rows(), x.cols(), g.scalar());
+                    self.add_grad(a, dx);
+                }
+                Op::MeanAll(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let dx = Mat::full(x.rows(), x.cols(), g.scalar() / x.len() as f32);
+                    self.add_grad(a, dx);
+                }
+                Op::SumRows(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let (rows, cols) = x.shape();
+                    let mut dx = Mat::zeros(rows, cols);
+                    for r in 0..rows {
+                        dx.row_mut(r).copy_from_slice(g.row(0));
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut r0 = 0usize;
+                    for p in parts {
+                        let pr = self.nodes[p.0].value.rows();
+                        let cols = g.cols();
+                        let mut dp = Mat::zeros(pr, cols);
+                        for r in 0..pr {
+                            dp.row_mut(r).copy_from_slice(g.row(r0 + r));
+                        }
+                        r0 += pr;
+                        self.add_grad(p, dp);
+                    }
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ac = self.nodes[a.0].value.cols();
+                    let bc = self.nodes[b.0].value.cols();
+                    let rows = g.rows();
+                    let mut da = Mat::zeros(rows, ac);
+                    let mut db = Mat::zeros(rows, bc);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    self.add_grad(a, g.transpose());
+                }
+                Op::SliceCols(a, s, _e) => {
+                    let (a, s) = (*a, *s);
+                    let x = &self.nodes[a.0].value;
+                    let mut dx = Mat::zeros(x.rows(), x.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            dx.set(r, s + c, g.get(r, c));
+                        }
+                    }
+                    self.add_grad(a, dx);
+                }
+                Op::GraphAgg(x, adj, eps) => {
+                    let (x, adj, eps) = (*x, Rc::clone(adj), *eps);
+                    // (A + (1+eps) I) is symmetric → backward is the same op.
+                    let mut dx = g.map(|e| e * (1.0 + eps));
+                    for (node, nbrs) in adj.iter().enumerate() {
+                        for &u in nbrs {
+                            for c in 0..g.cols() {
+                                let add = g.get(u as usize, c);
+                                dx.set(node, c, dx.get(node, c) + add);
+                            }
+                        }
+                    }
+                    self.add_grad(x, dx);
+                }
+                Op::Flatten(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let dx = Mat::from_vec(x.rows(), x.cols(), g.data().to_vec());
+                    self.add_grad(a, dx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // loss = mean((2x)^2) with x = [1, 2] → d/dx = 4x ⇒ [4, 8] / 2
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::row_vector(&[1.0, 2.0]));
+        let y = t.scale(x, 2.0);
+        let y2 = t.mul(y, y);
+        let loss = t.mean_all(y2);
+        let mut store = ParamStore::new();
+        t.backward(loss, &mut store);
+        let g = t.grad(x);
+        assert!((g.get(0, 0) - 4.0).abs() < 1e-5);
+        assert!((g.get(0, 1) - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_grads_routed_to_store() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::row_vector(&[3.0]));
+        let mut t = Tape::new(true);
+        let wv = t.param(&store, w);
+        let sq = t.mul(wv, wv);
+        let loss = t.sum_all(sq);
+        t.backward(loss, &mut store);
+        // d(w^2)/dw = 2w = 6
+        assert!((store.grad(w).get(0, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::from_vec(2, 3, vec![1., 2., 3., 10., 10., 10.]));
+        let s = t.softmax_rows(x);
+        for r in 0..2 {
+            let sum: f32 = t.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // second row uniform
+        assert!((t.value(s).get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::row_vector(&[1.0, 2.0, 3.0]));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let d = t.dropout(x, 0.5, &mut rng);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn graph_agg_triangle() {
+        // path 0-1-2, eps=0: out[1] = x1 + x0 + x2
+        let adj: Adjacency = Rc::new(vec![vec![1], vec![0, 2], vec![1]]);
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::from_vec(3, 1, vec![1.0, 10.0, 100.0]));
+        let y = t.graph_agg(x, adj, 0.0);
+        assert_eq!(t.value(y).data(), &[11.0, 111.0, 110.0]);
+    }
+
+    #[test]
+    fn dropout_backward_applies_the_same_mask() {
+        // loss = sum(dropout(x)); grad must equal the forward mask exactly
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut t = Tape::new(true);
+        let x = t.input(Mat::full(1, 64, 1.0));
+        let d = t.dropout(x, 0.5, &mut rng);
+        let forward = t.value(d).data().to_vec();
+        let loss = t.sum_all(d);
+        let mut store = ParamStore::new();
+        t.backward(loss, &mut store);
+        let g = t.grad(x);
+        for (gv, fv) in g.data().iter().zip(&forward) {
+            // mask is 0 or 2.0 (inverted dropout at p = 0.5); forward value
+            // equals mask here since inputs are 1.0
+            assert_eq!(gv, fv);
+        }
+    }
+
+    #[test]
+    fn flatten_and_slice() {
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let f = t.flatten(x);
+        assert_eq!(t.value(f).shape(), (1, 4));
+        let s = t.slice_cols(x, 1, 2);
+        assert_eq!(t.value(s).data(), &[2., 4.]);
+    }
+}

@@ -1,0 +1,314 @@
+//! `alss` — command-line interface to the learned sketch.
+//!
+//! ```text
+//! alss generate  --dataset yeast --scale 0.2 --seed 0 --out graph.txt
+//! alss workload  --graph graph.txt --sizes 3,4,6 --per-size 30
+//!                [--iso] [--budget N] --out workload.json
+//! alss train     --graph graph.txt --workload workload.json
+//!                [--encoding fre|emb|con] [--epochs N] --out sketch.json
+//! alss estimate  --sketch sketch.json --query query.txt
+//! alss count     --graph graph.txt --query query.txt [--iso] [--budget N]
+//! alss evaluate  --sketch sketch.json --workload workload.json
+//! alss stats     --graph graph.txt
+//! alss decompose --query query.txt [--hops 3]
+//! ```
+//!
+//! Graphs use the line-oriented text format of `alss::graph::io`
+//! (`t/v/e` records); workloads and sketches are JSON.
+
+use alss::core::{LearnedSketch, QErrorStats, SketchConfig, TrainConfig, Workload};
+use alss::datasets::queries::WorkloadSpec;
+use alss::datasets::{by_name, generate_workload};
+use alss::graph::io::{from_text, to_text};
+use alss::graph::Graph;
+use alss::matching::{Budget, Semantics};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: alss <generate|workload|train|estimate|count|evaluate|stats|decompose> \
+         [--flag value ...]\nrun `alss help` or see the crate docs for details"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal `--flag value` / `--flag` parser.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let k = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", raw[i]))?;
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                flags.insert(k.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(k.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn is_set(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    from_text(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn semantics(args: &Args) -> Semantics {
+    if args.is_set("iso") {
+        Semantics::Isomorphism
+    } else {
+        Semantics::Homomorphism
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let dataset = args.require("dataset")?;
+    let scale: f64 = args.parsed("scale", 0.2)?;
+    let seed: u64 = args.parsed("seed", 0)?;
+    let out = args.require("out")?;
+    let g = by_name(dataset, scale, seed)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (aids/yeast/youtube/wordnet/eu2005/yago)"))?;
+    std::fs::write(out, to_text(&g)).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} labels",
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_node_labels()
+    );
+    Ok(())
+}
+
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.require("graph")?)?;
+    let sizes: Vec<usize> = args
+        .require("sizes")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad size '{s}'")))
+        .collect::<Result<_, _>>()?;
+    let per_size: usize = args.parsed("per-size", 25)?;
+    let budget: u64 = args.parsed("budget", 20_000_000)?;
+    let wildcard: f64 = args.parsed("wildcard", 0.0)?;
+    let seed: u64 = args.parsed("seed", 1)?;
+    let out = args.require("out")?;
+    let w = generate_workload(
+        &g,
+        &WorkloadSpec {
+            sizes,
+            per_size,
+            semantics: semantics(args),
+            budget_per_query: budget,
+            wildcard_prob: wildcard,
+            induced: false,
+            seed,
+        },
+    );
+    let json = serde_json::to_string(&w).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    let (lo, hi) = w.count_range().unwrap_or((0, 0));
+    println!(
+        "wrote {out}: {} labeled queries, sizes {:?}, counts in [{lo}, {hi}]",
+        w.len(),
+        w.sizes()
+    );
+    Ok(())
+}
+
+fn load_workload(path: &str) -> Result<Workload, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.require("graph")?)?;
+    let w = load_workload(args.require("workload")?)?;
+    let out = args.require("out")?;
+    let epochs: usize = args.parsed("epochs", 60)?;
+    let encoding = match args.get("encoding").unwrap_or("emb") {
+        "fre" => alss::core::EncodingKind::Frequency,
+        "emb" => alss::core::EncodingKind::Embedding,
+        "con" => alss::core::EncodingKind::Concatenated,
+        other => return Err(format!("unknown encoding '{other}' (fre|emb|con)")),
+    };
+    let mut cfg = SketchConfig {
+        encoding,
+        ..SketchConfig::default()
+    };
+    cfg.model.hidden = args.parsed("hidden", 32)?;
+    cfg.model.gnn_layers = args.parsed("layers", 2)?;
+    cfg.model.dropout = args.parsed("dropout", 0.1)?;
+    cfg.train = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    cfg.prone_dim = args.parsed("prone-dim", 32)?;
+    cfg.seed = args.parsed("seed", 42)?;
+    let (sketch, report) = LearnedSketch::train(&g, &w, &cfg);
+    sketch.save(out).map_err(|e| format!("save {out}: {e}"))?;
+    println!(
+        "trained on {} queries ({} epochs, {:.2}s, final loss {:.4}); sketch -> {out}",
+        report.num_queries,
+        report.epoch_losses.len(),
+        report.duration.as_secs_f64(),
+        report.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), String> {
+    let sketch = LearnedSketch::load(args.require("sketch")?).map_err(|e| e.to_string())?;
+    let q = load_graph(args.require("query")?)?;
+    let pred = sketch.predict(&q);
+    println!("estimate: {:.1}", pred.count());
+    println!("log10:    {:.3}", pred.log10_count);
+    println!("magnitude class: {}", pred.top_class());
+    Ok(())
+}
+
+fn cmd_count(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.require("graph")?)?;
+    let q = load_graph(args.require("query")?)?;
+    let budget: u64 = args.parsed("budget", 1_000_000_000)?;
+    let sem = semantics(args);
+    match sem.count_parallel(&g, &q, &Budget::new(budget)) {
+        Ok(c) => {
+            println!("{c}");
+            Ok(())
+        }
+        Err(_) => Err(format!("budget of {budget} expansions exceeded")),
+    }
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let sketch = LearnedSketch::load(args.require("sketch")?).map_err(|e| e.to_string())?;
+    let w = load_workload(args.require("workload")?)?;
+    let pairs: Vec<(f64, f64)> = w
+        .queries
+        .iter()
+        .map(|q| (q.count as f64, sketch.estimate(&q.graph)))
+        .collect();
+    let stats = QErrorStats::from_pairs(&pairs).ok_or("empty workload")?;
+    println!("q-error over {} queries:", stats.count);
+    println!("{}", stats.render());
+    for size in w.sizes() {
+        let sp: Vec<(f64, f64)> = w
+            .queries
+            .iter()
+            .filter(|q| q.size() == size)
+            .map(|q| (q.count as f64, sketch.estimate(&q.graph)))
+            .collect();
+        if let Some(s) = QErrorStats::from_pairs(&sp) {
+            println!("  {size}-node: {}", s.render());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.require("graph")?)?;
+    let stats = alss::graph::labels::LabelStats::new(&g);
+    println!("nodes:        {}", g.num_nodes());
+    println!("edges:        {}", g.num_edges());
+    println!("node labels:  {}", g.num_node_labels());
+    println!("edge labels:  {}", g.num_edge_labels());
+    println!("multi-label:  {}", g.is_multi_labeled());
+    println!("max degree:   {}", g.max_degree());
+    println!("connected:    {}", g.is_connected());
+    println!("label entropy Ent(Sigma): {:.3}", stats.entropy());
+    let order = stats.labels_by_frequency();
+    print!("top labels:  ");
+    for l in order.iter().take(5) {
+        print!(" {}x{}", l, stats.frequency(*l));
+    }
+    println!();
+    Ok(())
+}
+
+fn cmd_decompose(args: &Args) -> Result<(), String> {
+    let q = load_graph(args.require("query")?)?;
+    let hops: u32 = args.parsed("hops", 3)?;
+    let subs = alss::graph::decompose(&q, hops);
+    println!(
+        "query: {} nodes, {} edges -> {} substructures ({}-hop BFS trees)",
+        q.num_nodes(),
+        q.num_edges(),
+        subs.len(),
+        hops
+    );
+    for (i, s) in subs.iter().enumerate() {
+        println!(
+            "s{i}: root q{} | {} nodes, {} edges | original nodes {:?}",
+            s.original[0],
+            s.graph.num_nodes(),
+            s.graph.num_edges(),
+            s.original
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "workload" => cmd_workload(&args),
+        "train" => cmd_train(&args),
+        "estimate" => cmd_estimate(&args),
+        "count" => cmd_count(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "stats" => cmd_stats(&args),
+        "decompose" => cmd_decompose(&args),
+        "help" | "--help" | "-h" => {
+            return usage();
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

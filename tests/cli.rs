@@ -1,0 +1,136 @@
+//! End-to-end smoke test of the `alss` CLI binary: generate → workload →
+//! train → estimate/count/evaluate/stats/decompose over temp files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn alss() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alss"))
+}
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("alss_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let dir = tmpdir();
+    let graph = dir.join("g.txt");
+    let workload = dir.join("w.json");
+    let sketch = dir.join("s.json");
+    let query = dir.join("q.txt");
+
+    // generate
+    let out = alss()
+        .args([
+            "generate", "--dataset", "yeast", "--scale", "0.08", "--seed", "1",
+            "--out", graph.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // workload
+    let out = alss()
+        .args([
+            "workload", "--graph", graph.to_str().unwrap(), "--sizes", "3,4",
+            "--per-size", "10", "--budget", "2000000",
+            "--out", workload.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run workload");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // train
+    let out = alss()
+        .args([
+            "train", "--graph", graph.to_str().unwrap(),
+            "--workload", workload.to_str().unwrap(),
+            "--epochs", "10", "--hidden", "16", "--prone-dim", "8",
+            "--out", sketch.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(sketch.exists());
+
+    // estimate on a handwritten query
+    std::fs::write(&query, "t 2 1\nv 0 0\nv 1 -1\ne 0 1\n").expect("write query");
+    let out = alss()
+        .args([
+            "estimate", "--sketch", sketch.to_str().unwrap(),
+            "--query", query.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run estimate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("estimate:"), "missing estimate in: {text}");
+
+    // exact count
+    let out = alss()
+        .args([
+            "count", "--graph", graph.to_str().unwrap(),
+            "--query", query.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run count");
+    assert!(out.status.success());
+    let count: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().expect("count number");
+    let _ = count;
+
+    // evaluate
+    let out = alss()
+        .args([
+            "evaluate", "--sketch", sketch.to_str().unwrap(),
+            "--workload", workload.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("q-error"));
+
+    // stats + decompose
+    let out = alss()
+        .args(["stats", "--graph", graph.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("label entropy"));
+
+    let out = alss()
+        .args(["decompose", "--query", query.to_str().unwrap(), "--hops", "2"])
+        .output()
+        .expect("run decompose");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("substructures"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // unknown command
+    let out = alss().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+
+    // missing required flag
+    let out = alss().args(["generate", "--dataset", "yeast"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // unknown dataset
+    let dir = tmpdir();
+    let out = alss()
+        .args([
+            "generate", "--dataset", "imdb",
+            "--out", dir.join("x.txt").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+    std::fs::remove_dir_all(&dir).ok();
+}
