@@ -160,7 +160,7 @@ mod tests {
         let mut walks = Vec::new();
         for _ in 0..200 {
             let base = if rng.gen::<bool>() { 0u32 } else { 3 };
-            let walk: Vec<NodeId> = (0..8).map(|_| base + rng.gen_range(0..3)).collect();
+            let walk: Vec<NodeId> = (0..8).map(|_| base + rng.gen_range(0u32..3)).collect();
             walks.push(walk);
         }
         let cfg = SkipGramConfig {

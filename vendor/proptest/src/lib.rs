@@ -1,0 +1,401 @@
+//! Offline stand-in for the subset of `proptest 1` used by this
+//! workspace's property tests.
+//!
+//! Provides the [`Strategy`] trait (`prop_map`, `prop_flat_map`), range and
+//! tuple strategies, [`collection::vec`], [`ProptestConfig`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros. Cases are
+//! generated from a deterministic per-test seed (FNV-1a of the test name),
+//! so failures reproduce exactly.
+//!
+//! **No shrinking**: a failing case panics with the generated inputs left
+//! to the assertion message, instead of being minimized first. That trades
+//! debuggability for zero dependencies, which is the right trade in a
+//! container with no crates-io access.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    /// Uniform `true`/`false`.
+    pub const ANY: crate::StandardAny<bool> = crate::StandardAny(std::marker::PhantomData);
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-run configuration; only `cases` matters to the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree and no shrinking: `generate` draws one concrete value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (retries up to 1000 times).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}`: predicate rejected 1000 draws", self.whence);
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Draws from the full standard distribution of `T`.
+pub struct StandardAny<T>(pub(crate) PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for StandardAny<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                StandardAny(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The canonical strategy for `T` (real proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Error type a property body can early-return with `return Ok(())` /
+/// `Err(...)`, mirroring proptest's `TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(e: String) -> Self {
+        TestCaseError(e)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(e: &str) -> Self {
+        TestCaseError(e.to_string())
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build the RNG for a named test (used by the [`proptest!`] expansion).
+pub fn test_rng(name: &str) -> SmallRng {
+    SmallRng::seed_from_u64(test_seed(name))
+}
+
+/// Define property tests. Supports the same surface syntax the real
+/// `proptest!` macro accepts at this workspace's call sites:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    // The closure lets property bodies early-return
+                    // `Ok(())`/`Err(..)` like real proptest.
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("property `{}` failed: {}", stringify!($name), __e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that names the property framework in its panic message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..=8).prop_flat_map(|n| crate::collection::vec(0u32..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() <= 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::test_seed("abc"), crate::test_seed("abc"));
+        assert_ne!(crate::test_seed("abc"), crate::test_seed("abd"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Small, fast RNGs. [`SmallRng`] is xoshiro256++ (Blackman & Vigna),
+//! seeded through splitmix64 as its authors recommend.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Fast non-cryptographic generator, the offline stand-in for
+/// `rand::rngs::SmallRng`.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut state);
+        }
+        // xoshiro is degenerate on the all-zero state; splitmix64 cannot
+        // produce four zero words from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        SmallRng { s }
+    }
+}
+
+pub mod mock {
+    //! Mock generators for tests.
+
+    use crate::RngCore;
+
+    /// Arithmetic-progression "generator": yields `initial`, then adds
+    /// `increment` (wrapping) on each call. Matches `rand`'s mock rng.
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        v: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        /// Create with the given start value and increment.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                v: initial,
+                step: increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.step);
+            out
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,45 @@
+//! Sequence helpers: the `SliceRandom` subset ALSS uses.
+
+use crate::{uniform_index, RngCore};
+
+/// Random operations on slices (`shuffle`, `choose`).
+pub trait SliceRandom {
+    /// Element type of the sequence.
+    type Item;
+
+    /// Uniform random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Uniform random mutable element, or `None` if empty.
+    fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_index(rng, self.len()))
+        }
+    }
+
+    fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = uniform_index(rng, self.len());
+            self.get_mut(i)
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, uniform_index(rng, i + 1));
+        }
+    }
+}

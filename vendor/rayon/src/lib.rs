@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of `rayon 1` this workspace uses.
+//!
+//! With no crates-io access the real work-stealing pool cannot be built, so
+//! `par_iter`/`into_par_iter` here run **sequentially** on the calling
+//! thread while keeping rayon's combinator API (`map`, `filter_map`,
+//! `collect`, `try_reduce`, …). Results are therefore identical to rayon's
+//! for the deterministic reductions ALSS performs; only the parallel
+//! speed-up is absent. Call sites compile unchanged, so swapping the real
+//! rayon back in is a one-line Cargo change.
+
+use std::iter::Sum;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Sequential wrapper that mimics rayon's `ParallelIterator` combinators.
+pub struct ParIter<I> {
+    it: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform each item.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            it: self.it.map(f),
+        }
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            it: self.it.filter(f),
+        }
+    }
+
+    /// Transform and keep `Some` results.
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter {
+            it: self.it.filter_map(f),
+        }
+    }
+
+    /// Flatten nested iterables.
+    pub fn flat_map<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, B, F>> {
+        ParIter {
+            it: self.it.flat_map(f),
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.it.for_each(f);
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.it.collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: Sum<I::Item>>(self) -> S {
+        self.it.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.it.count()
+    }
+
+    /// Reduce with an identity constructor (rayon calls `identity` once per
+    /// split; sequentially that is exactly once).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.it.fold(identity(), op)
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.it.max()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.it.min()
+    }
+}
+
+impl<I, T, E> ParIter<I>
+where
+    I: Iterator<Item = Result<T, E>>,
+{
+    /// Fallible reduction: short-circuits on the first `Err`, like rayon's
+    /// `try_reduce` (up to which error wins, which rayon leaves
+    /// nondeterministic anyway).
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> Result<T, E>,
+    {
+        let mut acc = identity();
+        for item in self.it {
+            acc = op(acc, item?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// `into_par_iter()` for owned containers and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            it: self.into_iter(),
+        }
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` for slices (and anything that derefs to one, e.g. `Vec`).
+pub trait ParallelSlice<T> {
+    /// Borrowing (sequential) "parallel" iterator.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { it: self.iter() }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn into_par_iter_filter_map() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn try_reduce_short_circuits() {
+        let ok: Result<u64, ()> = [1u64, 2, 3]
+            .par_iter()
+            .map(|&x| Ok(x))
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(ok, Ok(6));
+
+        let err: Result<u64, &str> = [1u64, 2, 3]
+            .par_iter()
+            .map(|&x| if x == 2 { Err("boom") } else { Ok(x) })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(err, Err("boom"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline stand-in for the subset of `serde 1` used by this workspace.
+//!
+//! The real serde's visitor-based data model is far larger than ALSS needs:
+//! every (de)serialization in this repo goes through `serde_json` on derived
+//! structs and unit enums. This stub therefore collapses the data model to a
+//! concrete JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] renders `Self` into a [`Value`];
+//! * [`Deserialize`] reads `Self` back out of a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the
+//!   `serde_derive` stub) generates both for named-field structs and
+//!   unit-variant enums, honouring `#[serde(default)]`.
+//!
+//! The crate is intentionally API-compatible at the *call sites this
+//! workspace contains*, not with serde at large.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Deserialization error: a path-less human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Standard "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing `{ty}`"))
+    }
+
+    /// Standard "type mismatch" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the JSON-like data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the JSON-like data model.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        // `Null` round-trips non-finite floats (JSON has no NaN/Inf).
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string. Real serde
+/// would borrow from the input; this stub's data model is owned, so the
+/// leak is the only way to honour `'static`. Used by descriptor structs
+/// (e.g. dataset specs) that are deserialized a handful of times per
+/// process at most.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                let expected = [$($n),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// `Duration` round-trips as `[secs, subsec_nanos]`.
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            Value::UInt(self.as_secs()),
+            Value::UInt(u64::from(self.subsec_nanos())),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::deserialize(v)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs so non-string keys
+/// round-trip. Only this workspace's own `serde_json` stub reads the output,
+/// so interop with real-JSON map objects is not required.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array of pairs", v))?;
+        items
+            .iter()
+            .map(|pair| <(K, V)>::deserialize(pair))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array of pairs", v))?;
+        items
+            .iter()
+            .map(|pair| <(K, V)>::deserialize(pair))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}

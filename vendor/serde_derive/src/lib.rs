@@ -1,0 +1,431 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` stub.
+//!
+//! `syn`/`quote` are unavailable in this container, so the input is parsed
+//! directly from `proc_macro::TokenStream` token trees and the generated
+//! impls are assembled as source strings. Supported shapes — which cover
+//! every derive site in the ALSS workspace — are:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`);
+//! * unit structs;
+//! * enums whose variants are all unit variants (externally tagged as a
+//!   plain string, like real serde).
+//!
+//! Anything else (tuple structs, data-carrying variants, generic types)
+//! produces a `compile_error!` naming the unsupported shape, so a future
+//! change fails loudly instead of mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    UnitEnum(Vec<String>),
+    Unsupported(String),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed.shape {
+        Shape::NamedStruct(fields) => gen_struct_ser(&parsed.name, fields),
+        Shape::TupleStruct(arity) => gen_tuple_ser(&parsed.name, *arity),
+        Shape::UnitStruct => gen_struct_ser(&parsed.name, &[]),
+        Shape::UnitEnum(variants) => gen_enum_ser(&parsed.name, variants),
+        Shape::Unsupported(why) => unsupported(&parsed.name, why),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed.shape {
+        Shape::NamedStruct(fields) => gen_struct_de(&parsed.name, fields),
+        Shape::TupleStruct(arity) => gen_tuple_de(&parsed.name, *arity),
+        Shape::UnitStruct => gen_struct_de(&parsed.name, &[]),
+        Shape::UnitEnum(variants) => gen_enum_de(&parsed.name, variants),
+        Shape::Unsupported(why) => unsupported(&parsed.name, why),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn unsupported(name: &str, why: &str) -> String {
+    format!("compile_error!(\"serde stub cannot derive for `{name}`: {why}\");")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => {
+            return Input {
+                name: "?".into(),
+                shape: Shape::Unsupported("no struct/enum keyword found".into()),
+            }
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => {
+            return Input {
+                name: "?".into(),
+                shape: Shape::Unsupported("missing type name".into()),
+            }
+        }
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Input {
+                name,
+                shape: Shape::Unsupported("generic types are not supported".into()),
+            };
+        }
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                parse_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => Shape::Unsupported("unrecognized struct body".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_variants(g.stream())
+            }
+            _ => Shape::Unsupported("unrecognized enum body".into()),
+        },
+        "union" => Shape::Unsupported("unions are not supported".into()),
+        other => Shape::Unsupported(format!("unexpected keyword `{other}`")),
+    };
+
+    Input { name, shape }
+}
+
+/// `true` if a `#[...]` attribute group is exactly `serde(default)`
+/// (possibly among other serde options, in which case anything but
+/// `default` is rejected later by the caller's Unsupported path).
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes (including doc comments) before the field.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        default |= attr_is_serde_default(g);
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Shape::Unsupported(format!("unexpected token `{other}` in field list"))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Shape::Unsupported(format!("missing `:` after field `{name}`")),
+        }
+        // Skip the type: commas nested in angle brackets don't end the field.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    Shape::NamedStruct(fields)
+}
+
+/// Count the fields of a tuple struct: top-level commas, ignoring commas
+/// nested inside angle brackets (groups are already atomic tokens).
+fn parse_tuple_fields(stream: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return Shape::TupleStruct(0);
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut after_comma = false;
+    for tok in &tokens {
+        after_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    after_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if after_comma {
+        arity -= 1; // trailing comma
+    }
+    Shape::TupleStruct(arity)
+}
+
+fn parse_variants(stream: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (e.g. `#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Shape::Unsupported(format!("unexpected token `{other}` in variant list"))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Shape::Unsupported(format!(
+                    "variant `{name}` carries data; only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    Shape::UnitEnum(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "__o.push((\"{fname}\".to_string(), \
+             ::serde::Serialize::serialize(&self.{fname})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(__o)\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{name}\", \"{fname}\"))"
+            )
+        };
+        inits.push_str(&format!(
+            "{fname}: match ::serde::value::field(__o, \"{fname}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __o = __v.as_object().ok_or_else(|| \
+         ::serde::Error::expected(\"object for `{name}`\", __v))?;\n\
+         let _ = &__o;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Newtype structs serialize transparently as their single field; wider
+/// tuple structs serialize as arrays (both match real serde).
+fn gen_tuple_ser(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        "::serde::Serialize::serialize(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_tuple_de(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+            .collect();
+        format!(
+            "let __items = __v.as_array().ok_or_else(|| \
+             ::serde::Error::expected(\"array for `{name}`\", __v))?;\n\
+             if __items.len() != {arity} {{\n\
+             return ::std::result::Result::Err(::serde::Error::custom(\
+             \"wrong tuple arity for `{name}`\"));\n\
+             }}\n\
+             ::std::result::Result::Ok({name}({fields}))",
+            fields = items.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!(
+            "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!(
+            "::std::option::Option::Some(\"{v}\") => \
+             ::std::result::Result::Ok({name}::{v}),\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __v.as_str() {{\n\
+         {arms}\
+         _ => ::std::result::Result::Err(\
+         ::serde::Error::expected(\"variant of `{name}`\", __v)),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}
