@@ -1,0 +1,293 @@
+//! A lightweight Rust surface lexer.
+//!
+//! The analyzer's rules are line/token-level, so the lexer's only job is to
+//! split a source file into **code**, **comment**, and **literal** regions:
+//! a `panic!` inside a doc comment or a string must never be flagged, and a
+//! waiver written in a comment must never be hidden by code. It handles the
+//! constructs that matter for that split — line and (nested) block
+//! comments, string/byte-string literals with escapes, raw strings with
+//! arbitrary `#` fences, char literals, and the char-vs-lifetime
+//! ambiguity — and deliberately nothing more (no keyword table, no
+//! expression grammar).
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct LineView {
+    /// Code with every comment and literal body replaced by spaces
+    /// (literal delimiters are kept so token shapes survive).
+    pub code: String,
+    /// Concatenated text of comments on this line.
+    pub comment: String,
+}
+
+/// Lex `source` into per-line views.
+pub fn split_lines(source: &str) -> Vec<LineView> {
+    let mut lines: Vec<LineView> = Vec::new();
+    let mut cur = LineView::default();
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32), // nesting depth
+        Str,               // "..."
+        RawStr(usize),     // r##"..."## with fence length
+        Char,              // '...'
+    }
+    let mut state = State::Code;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                match (c, next) {
+                    ('/', Some('/')) => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(1);
+                        cur.code.push(' ');
+                        cur.code.push(' ');
+                        i += 2;
+                    }
+                    ('"', _) => {
+                        state = State::Str;
+                        cur.code.push('"');
+                        i += 1;
+                    }
+                    ('r', Some('"' | '#')) if is_raw_string_start(&bytes, i) => {
+                        let fence = raw_fence_len(&bytes, i + 1);
+                        state = State::RawStr(fence);
+                        cur.code.push('"');
+                        i += 2 + fence; // r, fence #s, opening quote
+                    }
+                    ('b', Some('"')) => {
+                        state = State::Str;
+                        cur.code.push('"');
+                        i += 2;
+                    }
+                    ('b', Some('\'')) => {
+                        state = State::Char;
+                        cur.code.push('\'');
+                        i += 2;
+                    }
+                    ('\'', _) => {
+                        if is_char_literal(&bytes, i) {
+                            state = State::Char;
+                            cur.code.push('\'');
+                            i += 1;
+                        } else {
+                            // Lifetime: keep it as code verbatim.
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        // Skip over identifiers wholesale so that an ident
+                        // like `rawr` can't be misread as a raw-string start
+                        // mid-way through.
+                        if c.is_alphanumeric() || c == '_' {
+                            let start = i;
+                            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_')
+                            {
+                                i += 1;
+                            }
+                            // A raw string head (`r"`/`r#`/`br"`) was handled
+                            // above; anything else is a plain ident/number.
+                            for &ch in &bytes[start..i] {
+                                cur.code.push(ch);
+                            }
+                        } else {
+                            cur.code.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                match (c, next) {
+                    ('*', Some('/')) => {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    }
+                    _ => {
+                        cur.comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    cur.code.push(' ');
+                    if bytes.get(i + 1).is_some() {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    cur.code.push('"');
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(fence) => {
+                if c == '"' && raw_fence_matches(&bytes, i + 1, fence) {
+                    state = State::Code;
+                    cur.code.push('"');
+                    i += 1 + fence;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    cur.code.push(' ');
+                    if bytes.get(i + 1).is_some() {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    cur.code.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// `r` at `i` starts a raw string iff it is `r"`, `r#...#"`, and the `r` is
+/// not the tail of a longer identifier (callers guarantee that by skipping
+/// identifiers wholesale).
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    debug_assert_eq!(bytes[i], 'r');
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn raw_fence_len(bytes: &[char], mut j: usize) -> usize {
+    let mut n = 0;
+    while bytes.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+fn raw_fence_matches(bytes: &[char], j: usize, fence: usize) -> bool {
+    (0..fence).all(|k| bytes.get(j + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` (char literal) from `'a` (lifetime). A quote starts a
+/// char literal when a closing quote appears after one character or escape.
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    debug_assert_eq!(bytes[i], '\'');
+    match bytes.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&'\''),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let v = split_lines("let x = 1; // panic!(\"no\")\n");
+        assert!(v[0].code.contains("let x = 1;"));
+        assert!(!v[0].code.contains("panic!"));
+        assert!(v[0].comment.contains("panic!"));
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let v = split_lines("let s = \"call .unwrap() now\";");
+        assert!(!v[0].code.contains("unwrap"));
+        assert!(v[0].code.contains("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let v = split_lines("let s = r#\"x.unwrap()\"#; x.f();");
+        assert!(!v[0].code.contains("unwrap"));
+        assert!(v[0].code.contains("x.f();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = split_lines("a /* outer /* inner */ still */ b");
+        assert!(v[0].code.contains('a'));
+        assert!(v[0].code.contains('b'));
+        assert!(!v[0].code.contains("inner"));
+        assert!(!v[0].code.contains("still"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = split_lines("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'z'; x.g()");
+        assert!(v[0].code.contains("fn f<'a>"));
+        assert!(v[0].code.contains("x.g()"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let v = split_lines(r"let q = '\''; y.unwrap()");
+        assert!(v[0].code.contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let v = split_lines("code1 /* c1\nc2 */ code2\n");
+        assert!(v[0].code.contains("code1"));
+        assert!(v[0].comment.contains("c1"));
+        assert!(v[1].code.contains("code2"));
+        assert!(v[1].comment.contains("c2"));
+    }
+}

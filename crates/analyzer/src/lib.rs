@@ -1,0 +1,112 @@
+//! `alss-analyzer`: a std-only static analyzer that enforces this
+//! workspace's source invariants.
+//!
+//! The learned-sketch pipeline carries subgraph *counts* — values that are
+//! easy to silently corrupt with a truncating cast — and its library crates
+//! must not abort a long training or estimation run on a recoverable
+//! condition. The analyzer walks every `crates/*/src` file and enforces:
+//!
+//! * **no-unwrap / no-expect / no-panic** — no `.unwrap()`, `.expect(..)`,
+//!   or `panic!` in library code paths (tests, benches, examples, and
+//!   binaries are allowlisted; `assert!`/`debug_assert!` remain allowed as
+//!   invariant checks).
+//! * **no-todo** — no `todo!` / `unimplemented!` anywhere.
+//! * **truncating-count-cast** — no `as` cast of a count-carrying value
+//!   (identifier matching `*count*`/`*total*`/`*cardinal*`/`*freq*`) to a
+//!   narrower type (`u8`..`u32`, `i8`..`i32`, `f32`).
+//! * **unsafe-without-comment** — every `unsafe` needs a `// SAFETY:`
+//!   comment on or within three lines above it.
+//!
+//! Sites that are intentional can be silenced with an explicit waiver that
+//! must carry a reason (see [`waiver`]); a malformed waiver is itself an
+//! unwaivable finding. Results come back as a [`report::Report`] with a
+//! JSON rendering for machine consumption, and `tests/gate.rs` turns the
+//! whole thing into a `cargo test` gate.
+//!
+//! Scope note: the analyzer scans first-party sources only (`crates/*/src`).
+//! `vendor/` holds offline stand-ins for external crates and is judged by
+//! the upstream crates' own standards, not this repo's.
+
+// Test modules opt back out of the library panic/numeric policy: a panic
+// IS the failure report there, and fixtures are tiny.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+use report::Report;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{classify, scan_source, FileKind};
+
+/// Locate the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Scan every `.rs` file under `crates/*/src` (and a top-level `src/`, if
+/// present) relative to `root`. Findings are sorted by file then line.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect_rs_files(&top_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.findings.extend(scan_source(&rel, &text));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Standalone analyzer entry point.
+//!
+//! ```text
+//! cargo run -p alss-analyzer            # human-readable report
+//! cargo run -p alss-analyzer -- --json  # machine-readable report
+//! ```
+//!
+//! Exits non-zero when any unwaivered finding exists.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let Some(root) = alss_analyzer::find_workspace_root(&cwd) else {
+        eprintln!("alss-analyzer: no workspace root (Cargo.toml + crates/) above {cwd:?}");
+        return ExitCode::from(2);
+    };
+    let report = match alss_analyzer::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alss-analyzer: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            if f.waived {
+                let reason = f.waiver_reason.as_deref().unwrap_or("");
+                println!(
+                    "waived  {}:{} [{}] {} (waiver: {})",
+                    f.file, f.line, f.rule, f.message, reason
+                );
+            } else {
+                println!("FAIL    {}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+                println!("        {}", f.snippet);
+            }
+        }
+        let bad = report.unwaivered().count();
+        let waived = report.findings.len() - bad;
+        println!(
+            "alss-analyzer: {} files scanned, {} finding(s) ({} waived, {} failing)",
+            report.files_scanned,
+            report.findings.len(),
+            waived,
+            bad
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,118 @@
+//! Findings and the machine-readable report.
+
+use serde::{Deserialize, Serialize};
+
+/// The rules the analyzer enforces. Rule names (used in waivers and JSON)
+/// are the kebab-case of the variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// `.unwrap()` in a library code path.
+    NoUnwrap,
+    /// `.expect(...)` in a library code path.
+    NoExpect,
+    /// `panic!` / `assert!`-free zones: explicit `panic!` in library code.
+    NoPanic,
+    /// `todo!()` or `unimplemented!()` anywhere in library code.
+    NoTodo,
+    /// A cast that can truncate a count-carrying value
+    /// (e.g. `count as u32`).
+    TruncatingCountCast,
+    /// `unsafe` without an explanatory `// SAFETY:` comment.
+    UnsafeWithoutComment,
+    /// A waiver comment that names no rule or carries no reason.
+    MalformedWaiver,
+}
+
+/// All rules, for iteration and name lookup.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::NoUnwrap,
+    Rule::NoExpect,
+    Rule::NoPanic,
+    Rule::NoTodo,
+    Rule::TruncatingCountCast,
+    Rule::UnsafeWithoutComment,
+    Rule::MalformedWaiver,
+];
+
+impl Rule {
+    /// Stable name used in waiver comments and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::NoPanic => "no-panic",
+            Rule::NoTodo => "no-todo",
+            Rule::TruncatingCountCast => "truncating-count-cast",
+            Rule::UnsafeWithoutComment => "unsafe-without-comment",
+            Rule::MalformedWaiver => "malformed-waiver",
+        }
+    }
+
+    /// Parse a rule name as written in a waiver.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Waivable rules can be silenced per-site with an `allow` waiver
+    /// comment carrying a reason (see the `waiver` module). A malformed
+    /// waiver cannot waive itself.
+    pub fn waivable(self) -> bool {
+        !matches!(self, Rule::MalformedWaiver)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// `true` if silenced by a well-formed waiver; waived findings are
+    /// reported but do not fail the gate.
+    pub waived: bool,
+    /// The waiver reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+/// Scan results over a file set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Every finding, waived or not, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not silenced by a waiver — these fail the gate.
+    pub fn unwaivered(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// `true` when the gate passes.
+    pub fn clean(&self) -> bool {
+        self.unwaivered().next().is_none()
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            // The report type serializes infallibly with the vendored
+            // serde; keep a structured fallback regardless.
+            format!("{{\"error\":\"report serialization failed: {e}\"}}")
+        })
+    }
+}

@@ -1,0 +1,350 @@
+//! Rule checks over lexed source lines.
+
+use crate::lexer::LineView;
+use crate::report::{Finding, Rule};
+use crate::waiver::{parse_waivers, Waiver};
+
+/// How a file is classified, which decides which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code path: all rules apply.
+    Lib,
+    /// Test, bench, example, or binary code: panic-style rules are
+    /// allowlisted (`unwrap` in a test is fine), structural rules
+    /// (`todo!`, `unsafe` hygiene) still apply.
+    Exempt,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileKind {
+    let exempt_dirs = ["tests", "benches", "examples", "bin"];
+    let mut components = rel_path.split(['/', '\\']).peekable();
+    while let Some(c) = components.next() {
+        let is_last = components.peek().is_none();
+        if !is_last && exempt_dirs.contains(&c) {
+            return FileKind::Exempt;
+        }
+        if is_last && (c == "build.rs" || c == "main.rs") {
+            return FileKind::Exempt;
+        }
+    }
+    FileKind::Lib
+}
+
+/// Scan one file's source text. `rel_path` is used for classification and
+/// reporting only.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let kind = classify(rel_path);
+    let lines = crate::lexer::split_lines(source);
+    let test_region = test_regions(&lines);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    let mut findings = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    for (idx, lv) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        match parse_waivers(&lv.comment) {
+            Ok(mut ws) => {
+                for w in &mut ws {
+                    w.target = waiver_target(&lines, idx);
+                }
+                waivers.extend(ws);
+            }
+            Err(msg) => findings.push(finding(
+                rel_path,
+                lineno,
+                Rule::MalformedWaiver,
+                msg,
+                &raw_lines,
+            )),
+        }
+
+        let lib_code = kind == FileKind::Lib && !test_region[idx];
+        let code = &lv.code;
+
+        if lib_code {
+            if let Some(msg) = check_unwrap(code) {
+                findings.push(finding(rel_path, lineno, Rule::NoUnwrap, msg, &raw_lines));
+            }
+            if let Some(msg) = check_expect(code) {
+                findings.push(finding(rel_path, lineno, Rule::NoExpect, msg, &raw_lines));
+            }
+            if let Some(msg) = check_panic(code) {
+                findings.push(finding(rel_path, lineno, Rule::NoPanic, msg, &raw_lines));
+            }
+            if let Some(msg) = check_truncating_cast(code) {
+                findings.push(finding(
+                    rel_path,
+                    lineno,
+                    Rule::TruncatingCountCast,
+                    msg,
+                    &raw_lines,
+                ));
+            }
+        }
+        if let Some(msg) = check_todo(code) {
+            findings.push(finding(rel_path, lineno, Rule::NoTodo, msg, &raw_lines));
+        }
+        if word_at(code, "unsafe").is_some() && !safety_comment_near(&lines, idx) {
+            findings.push(finding(
+                rel_path,
+                lineno,
+                Rule::UnsafeWithoutComment,
+                "`unsafe` without a `// SAFETY:` comment on or above the line".to_string(),
+                &raw_lines,
+            ));
+        }
+    }
+
+    // Apply waivers.
+    for f in &mut findings {
+        if !f.rule.waivable() {
+            continue;
+        }
+        if let Some(w) = waivers
+            .iter()
+            .find(|w| w.target == Some(f.line) && w.rules.contains(&f.rule))
+        {
+            f.waived = true;
+            f.waiver_reason = Some(w.reason.clone());
+        }
+    }
+    findings
+}
+
+fn finding(
+    rel_path: &str,
+    lineno: usize,
+    rule: Rule,
+    message: String,
+    raw_lines: &[&str],
+) -> Finding {
+    Finding {
+        file: rel_path.to_string(),
+        line: lineno,
+        rule,
+        message,
+        snippet: raw_lines
+            .get(lineno - 1)
+            .map(|s| s.trim().chars().take(160).collect())
+            .unwrap_or_default(),
+        waived: false,
+        waiver_reason: None,
+    }
+}
+
+/// A standalone waiver comment targets the next line that has code; a
+/// trailing waiver targets its own line.
+fn waiver_target(lines: &[LineView], idx: usize) -> Option<usize> {
+    if !lines[idx].code.trim().is_empty() {
+        return Some(idx + 1);
+    }
+    lines
+        .iter()
+        .enumerate()
+        .skip(idx + 1)
+        .find(|(_, lv)| !lv.code.trim().is_empty())
+        .map(|(j, _)| j + 1)
+}
+
+/// Per-line flags: is this line inside a `#[cfg(test)]` (or `#[test]`)
+/// item's braces? Tracked by brace depth over comment/string-free code.
+fn test_regions(lines: &[LineView]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    // Depths at which a test item body was entered.
+    let mut region_stack: Vec<i64> = Vec::new();
+
+    for (idx, lv) in lines.iter().enumerate() {
+        let squeezed: String = lv.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if squeezed.contains("#[cfg(test)]")
+            || squeezed.contains("#[cfg(all(test")
+            || squeezed.contains("#[cfg(any(test")
+            || squeezed.contains("#[test]")
+        {
+            armed = true;
+        }
+        if !region_stack.is_empty() {
+            flags[idx] = true;
+        }
+        for c in lv.code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        region_stack.push(depth);
+                        armed = false;
+                        flags[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_stack.last() == Some(&depth) {
+                        region_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Find `needle` as a whole word (not an identifier fragment).
+fn word_at(code: &str, needle: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len();
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `.unwrap()` — method-call position only.
+fn check_unwrap(code: &str) -> Option<String> {
+    let at = find_method_call(code, "unwrap")?;
+    let _ = at;
+    Some("`.unwrap()` in library code; return a `Result` or use a checked pattern".to_string())
+}
+
+/// `.expect(...)` — method-call position only.
+fn check_expect(code: &str) -> Option<String> {
+    let at = find_method_call(code, "expect")?;
+    let _ = at;
+    Some("`.expect(..)` in library code; return a `Result` or use a checked pattern".to_string())
+}
+
+/// Find `.name` followed by `(` (allowing whitespace and a turbofish-free
+/// call), at word boundaries.
+fn find_method_call(code: &str, name: &str) -> Option<usize> {
+    let pat = format!(".{name}");
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(&pat) {
+        let at = start + pos;
+        let end = at + pat.len();
+        let boundary = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if boundary {
+            let rest = code[end..].trim_start();
+            if rest.starts_with('(') {
+                return Some(at);
+            }
+        }
+        start = end;
+    }
+    None
+}
+
+/// Explicit `panic!` in library code. `assert!`/`debug_assert!` stay
+/// allowed: they are invariant checks, not control flow.
+fn check_panic(code: &str) -> Option<String> {
+    let at = word_at(code, "panic!")?;
+    // `core::panic!`-style paths still match; `debug_assert!` does not
+    // contain the word `panic!` so no exclusion is needed. But skip
+    // `#[panic_handler]`-like attribute lines defensively.
+    let _ = at;
+    Some(
+        "`panic!` in library code; return a `Result` or make the invariant an `assert!`"
+            .to_string(),
+    )
+}
+
+/// `todo!` / `unimplemented!` anywhere.
+fn check_todo(code: &str) -> Option<String> {
+    for m in ["todo!", "unimplemented!"] {
+        if word_at(code, m).is_some() {
+            return Some(format!("`{m}` left in source"));
+        }
+    }
+    None
+}
+
+/// A `SAFETY:` comment on the same line or within the three lines above.
+fn safety_comment_near(lines: &[LineView], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    lines[lo..=idx]
+        .iter()
+        .any(|lv| lv.comment.contains("SAFETY:"))
+}
+
+const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+const COUNT_HINTS: [&str; 4] = ["count", "total", "cardinal", "freq"];
+
+/// Casts like `count as u32`, `total_count() as i32`: a narrowing `as`
+/// whose source expression is named like a count. Name-based by design:
+/// without type inference a syntactic analyzer cannot see through
+/// arbitrary expressions, but count-carrying values in this repo follow
+/// the `*count*` / `*total*` / `*freq*` naming convention, and the rule is
+/// deliberately conservative so every hit is actionable.
+fn check_truncating_cast(code: &str) -> Option<String> {
+    let tokens = tokenize(code);
+    for i in 0..tokens.len() {
+        if tokens[i] != "as" || i + 1 >= tokens.len() || i == 0 {
+            continue;
+        }
+        let target = tokens[i + 1].as_str();
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        // Walk back over a call's closing paren to the callee name.
+        let mut j = i - 1;
+        if tokens[j] == ")" {
+            let mut depth = 1i32;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match tokens[j].as_str() {
+                    ")" => depth += 1,
+                    "(" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if j == 0 {
+                continue;
+            }
+            j -= 1;
+        }
+        let src = tokens[j].to_lowercase();
+        if COUNT_HINTS.iter().any(|h| src.contains(h)) {
+            return Some(format!(
+                "`{src} as {target}` can truncate a count-carrying value; \
+                 use `try_from` or keep 64-bit width"
+            ));
+        }
+    }
+    None
+}
+
+/// Split a code line into identifier/number tokens and single-char puncts.
+fn tokenize(code: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}

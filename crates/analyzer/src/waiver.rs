@@ -1,0 +1,99 @@
+//! Per-site waiver comments.
+//!
+//! Syntax (written in a line comment, on the offending line or on its own
+//! line directly above):
+//!
+//! ```text
+//! // analyzer: allow(no-unwrap) - index was bounds-checked two lines up
+//! // analyzer: allow(no-panic, no-expect) — unreachable by construction
+//! ```
+//!
+//! A waiver must name at least one known rule and carry a non-empty reason
+//! after a `-`/`—`/`:` separator; anything else is a `malformed-waiver`
+//! finding, which cannot itself be waived.
+
+use crate::report::Rule;
+
+/// A parsed waiver, not yet bound to a target line.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules this waiver silences.
+    pub rules: Vec<Rule>,
+    /// The written justification (non-empty by construction).
+    pub reason: String,
+    /// 1-based line the waiver applies to; filled in by the scanner.
+    pub target: Option<usize>,
+}
+
+const MARKER: &str = "analyzer:";
+
+/// Parse every waiver in one line's comment text. Returns `Err` with a
+/// description when a waiver marker is present but malformed.
+pub fn parse_waivers(comment: &str) -> Result<Vec<Waiver>, String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        let after = rest[pos + MARKER.len()..].trim_start();
+        let Some(args) = after.strip_prefix("allow") else {
+            return Err(format!(
+                "waiver marker without `allow(..)`: `{}`",
+                excerpt(&rest[pos..])
+            ));
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix('(') else {
+            return Err(format!(
+                "waiver `allow` missing `(`: `{}`",
+                excerpt(&rest[pos..])
+            ));
+        };
+        let Some(close) = args.find(')') else {
+            return Err(format!(
+                "waiver `allow(` missing `)`: `{}`",
+                excerpt(&rest[pos..])
+            ));
+        };
+        let (rule_list, tail) = args.split_at(close);
+        let mut rules = Vec::new();
+        for name in rule_list.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match Rule::from_name(name) {
+                Some(r) if r.waivable() => rules.push(r),
+                Some(r) => {
+                    return Err(format!("rule `{}` cannot be waived", r.name()));
+                }
+                None => {
+                    return Err(format!("unknown rule `{name}` in waiver"));
+                }
+            }
+        }
+        if rules.is_empty() {
+            return Err("waiver names no rules".to_string());
+        }
+        let tail = tail[1..].trim_start(); // past ')'
+        let reason = tail
+            .strip_prefix('-')
+            .or_else(|| tail.strip_prefix('\u{2014}')) // em dash
+            .or_else(|| tail.strip_prefix('\u{2013}')) // en dash
+            .or_else(|| tail.strip_prefix(':'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            return Err("waiver has no reason; write `allow(rule) - <why>`".to_string());
+        }
+        out.push(Waiver {
+            rules,
+            reason: reason.to_string(),
+            target: None,
+        });
+        rest = &rest[pos + MARKER.len()..];
+    }
+    Ok(out)
+}
+
+fn excerpt(s: &str) -> String {
+    s.chars().take(60).collect()
+}

@@ -1,0 +1,60 @@
+//! The enforcement gate: scanning the real workspace must come back clean.
+//!
+//! This is what makes the analyzer a CI gate rather than an advisory tool:
+//! `cargo test -q` fails if any `crates/*/src` file carries an unwaivered
+//! finding or a waiver without a reason.
+
+// Test code opts back out of the library panic/numeric policy: a panic IS
+// the failure report here, and fixtures are tiny.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
+use std::path::Path;
+
+#[test]
+fn workspace_sources_have_no_unwaivered_findings() {
+    let root = alss_analyzer::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analyzer");
+    let report = alss_analyzer::scan_workspace(&root).expect("workspace scan");
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the layout change?",
+        report.files_scanned
+    );
+
+    let offenders: Vec<String> = report
+        .unwaivered()
+        .map(|f| {
+            format!(
+                "{}:{} [{}] {}\n    {}",
+                f.file, f.line, f.rule, f.message, f.snippet
+            )
+        })
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "analyzer gate: {} unwaivered finding(s):\n{}",
+        offenders.len(),
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn every_waiver_carries_a_reason() {
+    let root = alss_analyzer::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analyzer");
+    let report = alss_analyzer::scan_workspace(&root).expect("workspace scan");
+    for f in report.findings.iter().filter(|f| f.waived) {
+        let reason = f.waiver_reason.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "{}:{} waived without a reason",
+            f.file,
+            f.line
+        );
+    }
+}

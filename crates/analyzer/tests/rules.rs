@@ -1,0 +1,233 @@
+//! Per-rule positive / negative / waiver cases for the analyzer.
+
+// Test code opts back out of the library panic/numeric policy: a panic IS
+// the failure report here, and fixtures are tiny.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
+use alss_analyzer::report::Rule;
+use alss_analyzer::{classify, scan_source, FileKind};
+
+fn rules_at(path: &str, src: &str) -> Vec<(Rule, usize, bool)> {
+    scan_source(path, src)
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.waived))
+        .collect()
+}
+
+const LIB: &str = "crates/x/src/lib.rs";
+
+#[test]
+fn classify_paths() {
+    assert_eq!(classify("crates/x/src/lib.rs"), FileKind::Lib);
+    assert_eq!(classify("crates/x/src/deep/mod.rs"), FileKind::Lib);
+    assert_eq!(classify("crates/x/src/bin/tool.rs"), FileKind::Exempt);
+    assert_eq!(classify("crates/x/src/main.rs"), FileKind::Exempt);
+    assert_eq!(classify("crates/x/tests/it.rs"), FileKind::Exempt);
+    assert_eq!(classify("crates/x/benches/b.rs"), FileKind::Exempt);
+    assert_eq!(classify("crates/x/examples/e.rs"), FileKind::Exempt);
+    // A file merely *named* tests.rs in src is still lib code.
+    assert_eq!(classify("crates/x/src/tests.rs"), FileKind::Lib);
+}
+
+#[test]
+fn unwrap_flagged_in_lib() {
+    let f = rules_at(LIB, "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n");
+    assert_eq!(f, vec![(Rule::NoUnwrap, 1, false)]);
+}
+
+#[test]
+fn unwrap_with_whitespace_before_parens() {
+    let f = rules_at(LIB, "let x = v.unwrap ();\n");
+    assert_eq!(f, vec![(Rule::NoUnwrap, 1, false)]);
+}
+
+#[test]
+fn unwrap_or_variants_are_fine() {
+    let src = "let a = v.unwrap_or(0);\nlet b = v.unwrap_or_else(|| 0);\nlet c = v.unwrap_or_default();\n";
+    assert!(rules_at(LIB, src).is_empty());
+}
+
+#[test]
+fn unwrap_in_string_or_comment_is_ignored() {
+    let src = "let s = \"x.unwrap()\"; // and .unwrap() here\n";
+    assert!(rules_at(LIB, src).is_empty());
+}
+
+#[test]
+fn unwrap_in_cfg_test_module_is_allowed() {
+    let src = "\
+fn lib_fn() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}
+";
+    assert!(rules_at(LIB, src).is_empty());
+}
+
+#[test]
+fn unwrap_after_cfg_test_module_is_flagged_again() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+
+fn lib_fn(v: Option<u8>) -> u8 { v.unwrap() }
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 6, false)]);
+}
+
+#[test]
+fn unwrap_in_exempt_paths_is_allowed() {
+    let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+    assert!(rules_at("crates/x/tests/it.rs", src).is_empty());
+    assert!(rules_at("crates/x/src/bin/tool.rs", src).is_empty());
+    assert!(rules_at("crates/x/src/main.rs", src).is_empty());
+}
+
+#[test]
+fn expect_flagged_but_expect_err_is_not() {
+    let f = rules_at(LIB, "let x = v.expect(\"msg\");\n");
+    assert_eq!(f, vec![(Rule::NoExpect, 1, false)]);
+    assert!(rules_at(LIB, "let x = r.expect_err(\"msg\");\n").is_empty());
+}
+
+#[test]
+fn panic_flagged_but_asserts_allowed() {
+    let f = rules_at(LIB, "panic!(\"boom\");\n");
+    assert_eq!(f, vec![(Rule::NoPanic, 1, false)]);
+    let ok = "assert!(x > 0);\ndebug_assert!(y.is_finite());\nassert_eq!(a, b);\n";
+    assert!(rules_at(LIB, ok).is_empty());
+}
+
+#[test]
+fn todo_and_unimplemented_flagged_even_in_tests() {
+    let f = rules_at(LIB, "fn f() { todo!() }\n");
+    assert_eq!(f, vec![(Rule::NoTodo, 1, false)]);
+    let f = rules_at("crates/x/tests/it.rs", "fn g() { unimplemented!() }\n");
+    assert_eq!(f, vec![(Rule::NoTodo, 1, false)]);
+}
+
+#[test]
+fn truncating_count_cast_flagged() {
+    let f = rules_at(LIB, "let small = edge_count as u32;\n");
+    assert_eq!(f, vec![(Rule::TruncatingCountCast, 1, false)]);
+    let f = rules_at(LIB, "let small = self.total_matches() as i32;\n");
+    assert_eq!(f, vec![(Rule::TruncatingCountCast, 1, false)]);
+    let f = rules_at(LIB, "let x = freq as f32;\n");
+    assert_eq!(f, vec![(Rule::TruncatingCountCast, 1, false)]);
+}
+
+#[test]
+fn widening_or_unrelated_casts_are_fine() {
+    let ok = "\
+let a = edge_count as u64;
+let b = edge_count as f64;
+let c = node_id as u32;
+let d = idx as usize;
+";
+    assert!(rules_at(LIB, ok).is_empty());
+}
+
+#[test]
+fn unsafe_requires_safety_comment() {
+    let f = rules_at(LIB, "unsafe { ptr.read() }\n");
+    assert_eq!(f, vec![(Rule::UnsafeWithoutComment, 1, false)]);
+    let ok = "// SAFETY: ptr is valid for reads, checked above.\nunsafe { ptr.read() }\n";
+    assert!(rules_at(LIB, ok).is_empty());
+    // Same-line SAFETY comment also counts.
+    let ok2 = "unsafe { ptr.read() } // SAFETY: valid by construction\n";
+    assert!(rules_at(LIB, ok2).is_empty());
+}
+
+#[test]
+fn waiver_on_same_line_silences() {
+    let src = "let x = v.unwrap(); // analyzer: allow(no-unwrap) - checked non-empty above\n";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 1, true)]);
+    let f = &scan_source(LIB, src)[0];
+    assert_eq!(f.waiver_reason.as_deref(), Some("checked non-empty above"));
+}
+
+#[test]
+fn waiver_on_preceding_line_silences() {
+    let src = "\
+// analyzer: allow(no-panic) - unreachable: match is exhaustive over validated input
+panic!(\"unreachable\");
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoPanic, 2, true)]);
+}
+
+#[test]
+fn waiver_names_multiple_rules() {
+    let src = "\
+// analyzer: allow(no-unwrap, no-expect) - test fixture construction
+let x = a.unwrap() + b.expect(\"b\");
+";
+    let f = rules_at(LIB, src);
+    assert_eq!(
+        f,
+        vec![(Rule::NoUnwrap, 2, true), (Rule::NoExpect, 2, true)]
+    );
+}
+
+#[test]
+fn waiver_for_wrong_rule_does_not_silence() {
+    let src = "let x = v.unwrap(); // analyzer: allow(no-panic) - not the right rule\n";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 1, false)]);
+}
+
+#[test]
+fn waiver_without_reason_is_malformed() {
+    let src = "let x = v.unwrap(); // analyzer: allow(no-unwrap)\n";
+    let f = rules_at(LIB, src);
+    assert!(f.contains(&(Rule::MalformedWaiver, 1, false)));
+    // And the unwrap itself stays unwaivered.
+    assert!(f.contains(&(Rule::NoUnwrap, 1, false)));
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_malformed() {
+    let src = "let x = 1; // analyzer: allow(no-such-rule) - because\n";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::MalformedWaiver, 1, false)]);
+}
+
+#[test]
+fn malformed_waiver_cannot_waive_itself() {
+    let src = "\
+// analyzer: allow(malformed-waiver) - trying to silence the cop
+let x = 1;
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::MalformedWaiver, 1, false)]);
+}
+
+#[test]
+fn waiver_applies_across_blank_and_comment_lines() {
+    let src = "\
+// analyzer: allow(no-unwrap) - slot was just inserted
+
+// interleaved comment
+let x = v.unwrap();
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 4, true)]);
+}
+
+#[test]
+fn report_json_is_parseable() {
+    let report = alss_analyzer::report::Report {
+        findings: scan_source(LIB, "panic!(\"x\");\n"),
+        files_scanned: 1,
+    };
+    let json = report.to_json();
+    let v = serde_json::from_str::<serde::Value>(&json).expect("report JSON must parse");
+    assert!(v.get("findings").is_some());
+}

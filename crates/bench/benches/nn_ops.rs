@@ -37,7 +37,11 @@ fn bench_nn(c: &mut Criterion) {
             let h = gin.encode(&mut tape, &store, x, &adj, None, &mut r);
             let loss = mse_log_loss(&mut tape, h, &[0.5; 1]);
             tape.backward(loss, &mut store);
-            black_box(store.grad(store.ids().next().unwrap()).norm())
+            black_box(
+                store
+                    .grad(store.ids().next().expect("store has params"))
+                    .norm(),
+            )
         })
     });
 

@@ -18,7 +18,10 @@ fn main() {
         let sc = load_scenario(name, Semantics::Homomorphism);
         let mut rng = SmallRng::seed_from_u64(0xAB3);
         let (train, test) = sc.workload.stratified_split(0.8, &mut rng);
-        for (label, agg) in [("attention", Aggregator::Attention), ("sum-pool", Aggregator::SumPool)] {
+        for (label, agg) in [
+            ("attention", Aggregator::Attention),
+            ("sum-pool", Aggregator::SumPool),
+        ] {
             let mut model = bench_model_config();
             model.aggregator = agg;
             let cfg = SketchConfig {

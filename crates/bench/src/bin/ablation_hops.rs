@@ -15,7 +15,10 @@ fn main() {
     let sc = load_scenario("aids", Semantics::Homomorphism);
     let mut rng = SmallRng::seed_from_u64(0xAB1);
     let (train, test) = sc.workload.stratified_split(0.8, &mut rng);
-    println!("== Ablation: decomposition depth l (aids, {} test queries) ==\n", test.len());
+    println!(
+        "== Ablation: decomposition depth l (aids, {} test queries) ==\n",
+        test.len()
+    );
     let mut t = TableWriter::new(&["l", "q-error distribution", "train s"]);
     for hops in [1u32, 2, 3, 4] {
         let cfg = SketchConfig {

@@ -16,7 +16,10 @@ fn main() {
     let sc = load_scenario("aids", Semantics::Homomorphism);
     let mut rng = SmallRng::seed_from_u64(0xAB2);
     let (train, test) = sc.workload.stratified_split(0.8, &mut rng);
-    println!("== Ablation: Eq. (6) λ sweep (aids, {} test queries) ==\n", test.len());
+    println!(
+        "== Ablation: Eq. (6) λ sweep (aids, {} test queries) ==\n",
+        test.len()
+    );
     let mut t = TableWriter::new(&["lambda", "q-error distribution"]);
     for lambda in [0.0f32, 1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0, 0.9] {
         let mut model = bench_model_config();

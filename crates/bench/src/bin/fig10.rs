@@ -42,7 +42,9 @@ fn eval_sketch(sketch: &LearnedSketch, test: &Workload) -> Vec<(f64, f64, usize)
 fn main() {
     let sc = load_scenario("aids", Semantics::Homomorphism);
     let mut rng = SmallRng::seed_from_u64(10);
-    let parts = sc.workload.stratified_multi_split(&[0.6, 0.2, 0.2], &mut rng);
+    let parts = sc
+        .workload
+        .stratified_multi_split(&[0.6, 0.2, 0.2], &mut rng);
     let (train, pool_w, test) = (&parts[0], &parts[1], &parts[2]);
     println!(
         "== Fig 10 [aids]: AL strategies ({} train / {} pool / {} test) ==\n",

@@ -9,7 +9,9 @@ use alss_bench::TableWriter;
 use alss_core::encode::EncodingKind;
 use alss_core::train::encode_workload;
 use alss_core::workload::{LabeledQuery, Workload};
-use alss_core::{active_round, LearnedSketch, PoolItem, QErrorStats, SketchConfig, Strategy, TrainConfig};
+use alss_core::{
+    active_round, LearnedSketch, PoolItem, QErrorStats, SketchConfig, Strategy, TrainConfig,
+};
 use alss_graph::io::to_text;
 use alss_matching::Semantics;
 use rand::rngs::SmallRng;
@@ -28,8 +30,18 @@ fn main() {
     // fixed test set: 40% of each size bucket; the rest is the train pool
     let mut rng = SmallRng::seed_from_u64(11);
     let (pool_all, test) = sc.workload.stratified_split(0.6, &mut rng);
-    let mut small: Vec<LabeledQuery> = pool_all.queries.iter().filter(|q| is_small(q)).cloned().collect();
-    let mut large: Vec<LabeledQuery> = pool_all.queries.iter().filter(|q| !is_small(q)).cloned().collect();
+    let mut small: Vec<LabeledQuery> = pool_all
+        .queries
+        .iter()
+        .filter(|q| is_small(q))
+        .cloned()
+        .collect();
+    let mut large: Vec<LabeledQuery> = pool_all
+        .queries
+        .iter()
+        .filter(|q| !is_small(q))
+        .cloned()
+        .collect();
     small.shuffle(&mut rng);
     large.shuffle(&mut rng);
 

@@ -4,15 +4,17 @@
 //!
 //! Run: `cargo run -p alss-bench --bin fig12 --release [datasets...]`
 
-use alss_bench::scenario::{bench_model_config, bench_train_config, load_scenario, per_size, selected_datasets};
+use alss_bench::scenario::{
+    bench_model_config, bench_train_config, load_scenario, per_size, selected_datasets,
+};
 use alss_bench::table::fnum;
 use alss_bench::TableWriter;
 use alss_core::encode::EncodingKind;
 use alss_core::workload::{LabeledQuery, Workload};
 use alss_core::{LearnedSketch, SketchConfig};
 use alss_datasets::queries::{assign_pattern_labels, unlabeled_patterns};
-use alss_ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
 use alss_ghd::enumerate_ghds;
+use alss_ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
 use alss_graph::io::to_text;
 use alss_graph::labels::LabelStats;
 use alss_matching::{count_homomorphisms, Budget, Semantics};
@@ -37,7 +39,8 @@ fn main() {
         // leaving the cost model nothing to learn from
         let node_count = sc.data.num_nodes();
         let random_label = |rng: &mut SmallRng| {
-            sc.data.label(rng.gen_range(0..node_count) as u32)
+            sc.data
+                .label(alss_graph::node_id(rng.gen_range(0..node_count)))
         };
         for (size, want) in [(3usize, per_size() * 2), (4, per_size() * 4)] {
             let shapes = unlabeled_patterns(&sc.data, size, 20, 0x126 + size as u64);
@@ -95,7 +98,12 @@ fn main() {
         let mut log_ratio_sum = 0.0f64; // log10(agm_true / lss_true)
         let mut best_improvement = 0.0f64;
         let mut seen = std::collections::HashSet::new();
-        let mut t = TableWriter::new(&["size", "freq", "true cost (AGM plan)", "true cost (LSS plan)"]);
+        let mut t = TableWriter::new(&[
+            "size",
+            "freq",
+            "true cost (AGM plan)",
+            "true cost (LSS plan)",
+        ]);
 
         for size in [4usize, 5] {
             let pats = unlabeled_patterns(&sc.data, size, 6, 0x512 + size as u64);
@@ -120,7 +128,7 @@ fn main() {
                     };
                     tested += 1;
                     let (ca, cl) = (ca.max(1) as f64, cl.max(1) as f64);
-                    match cl.partial_cmp(&ca).unwrap() {
+                    match cl.total_cmp(&ca) {
                         std::cmp::Ordering::Less => lss_wins += 1,
                         std::cmp::Ordering::Greater => agm_wins += 1,
                         std::cmp::Ordering::Equal => ties += 1,
@@ -131,17 +139,14 @@ fn main() {
                         best_improvement = r;
                     }
                     if tested <= 24 {
-                        t.row(vec![
-                            size.to_string(),
-                            freq.to_string(),
-                            fnum(ca),
-                            fnum(cl),
-                        ]);
+                        t.row(vec![size.to_string(), freq.to_string(), fnum(ca), fnum(cl)]);
                     }
                 }
             }
         }
-        println!("\n== Fig 12 [{name}]: GHD plan cost, AGM vs LSS ({tested} labeled patterns) ==\n");
+        println!(
+            "\n== Fig 12 [{name}]: GHD plan cost, AGM vs LSS ({tested} labeled patterns) ==\n"
+        );
         t.print();
         if tested > 0 {
             println!(

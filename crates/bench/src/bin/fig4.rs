@@ -18,7 +18,10 @@ fn main() {
     for name in selected_datasets(&["aids", "yeast", "wordnet", "eu2005", "yago"]) {
         let sc = load_scenario(&name, Semantics::Homomorphism);
         if sc.workload.len() < 10 {
-            println!("== Fig 4 [{name}]: workload too small ({}), skipped ==", sc.workload.len());
+            println!(
+                "== Fig 4 [{name}]: workload too small ({}), skipped ==",
+                sc.workload.len()
+            );
             continue;
         }
         let mut rng = SmallRng::seed_from_u64(4);

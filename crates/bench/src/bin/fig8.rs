@@ -40,7 +40,11 @@ fn main() {
             let mut row = vec![m.method.clone()];
             for &s in &sizes {
                 let ms = m.mean_ms(s);
-                row.push(if ms.is_nan() { "-".to_string() } else { fnum(ms) });
+                row.push(if ms.is_nan() {
+                    "-".to_string()
+                } else {
+                    fnum(ms)
+                });
             }
             t.row(row);
         }

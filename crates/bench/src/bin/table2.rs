@@ -9,7 +9,14 @@ use alss_graph::labels::LabelStats;
 
 fn main() {
     println!("== Table 2: Real Data Graphs (synthetic analogues) ==\n");
-    let mut t = TableWriter::new(&["Dataset", "|V|", "|E|", "|Sigma|", "|Sigma_E|", "Ent(Sigma)"]);
+    let mut t = TableWriter::new(&[
+        "Dataset",
+        "|V|",
+        "|E|",
+        "|Sigma|",
+        "|Sigma_E|",
+        "Ent(Sigma)",
+    ]);
     for name in ["aids", "yeast", "youtube", "wordnet", "eu2005", "yago"] {
         let g = load_dataset(name);
         let stats = LabelStats::new(&g);
@@ -32,5 +39,8 @@ fn main() {
          youtube 1.13M/2.99M/20/3.21  wordnet 77k/120k/5/0.66  eu2005 863k/16.1M/40/3.68  \
          yago 12.8M/15.8M/188k+91 edge labels"
     );
-    println!("(sizes scaled by ALSS_SCALE={}; shapes, |Sigma| and entropy match)", alss_bench::scale());
+    println!(
+        "(sizes scaled by ALSS_SCALE={}; shapes, |Sigma| and entropy match)",
+        alss_bench::scale()
+    );
 }

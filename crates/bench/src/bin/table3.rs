@@ -11,7 +11,12 @@ use alss_matching::Semantics;
 fn main() {
     println!("== Table 3: Query Sets ==\n");
     let mut t = TableWriter::new(&[
-        "Type", "Dataset", "#Queries", "Query Sizes", "Range of c(q)", "Cov(Sigma)",
+        "Type",
+        "Dataset",
+        "#Queries",
+        "Query Sizes",
+        "Range of c(q)",
+        "Cov(Sigma)",
     ]);
     let rows: Vec<(&str, Semantics)> = vec![
         ("aids", Semantics::Homomorphism),
@@ -24,7 +29,12 @@ fn main() {
     ];
     for (name, sem) in rows {
         let sc = load_scenario(name, sem);
-        let graphs: Vec<_> = sc.workload.queries.iter().map(|q| q.graph.clone()).collect();
+        let graphs: Vec<_> = sc
+            .workload
+            .queries
+            .iter()
+            .map(|q| q.graph.clone())
+            .collect();
         let (lo, hi) = sc.workload.count_range().unwrap_or((0, 0));
         t.row(vec![
             match sem {
@@ -34,10 +44,16 @@ fn main() {
             name.to_string(),
             sc.workload.len().to_string(),
             format!("{:?}", sc.workload.sizes()),
-            format!("[1e{:.1}, 1e{:.1}]", (lo.max(1) as f64).log10(), (hi.max(1) as f64).log10()),
+            format!(
+                "[1e{:.1}, 1e{:.1}]",
+                (lo.max(1) as f64).log10(),
+                (hi.max(1) as f64).log10()
+            ),
             format!("{:.2}", label_coverage(&graphs)),
         ]);
     }
     t.print();
-    println!("\n(queries kept only if exact count fits the expansion budget — the paper's 2h filter)");
+    println!(
+        "\n(queries kept only if exact count fits the expansion budget — the paper's 2h filter)"
+    );
 }

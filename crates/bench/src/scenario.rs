@@ -99,9 +99,8 @@ pub struct Scenario {
 }
 
 fn cache_dir() -> PathBuf {
-    let p = PathBuf::from(
-        std::env::var("ALSS_CACHE_DIR").unwrap_or_else(|_| "bench_data".to_string()),
-    );
+    let p =
+        PathBuf::from(std::env::var("ALSS_CACHE_DIR").unwrap_or_else(|_| "bench_data".to_string()));
     std::fs::create_dir_all(&p).ok();
     p
 }
@@ -111,9 +110,14 @@ pub fn load_dataset(name: &str) -> Graph {
     let path = cache_dir().join(format!("{name}_{:.3}_graph.json", scale()));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(g) = serde_json::from_str::<Graph>(&text) {
-            return g;
+            // serde fills the CSR arrays directly; a stale or corrupted
+            // cache entry is rebuilt instead of trusted.
+            if g.validate().is_ok() {
+                return g;
+            }
         }
     }
+    // analyzer: allow(no-panic) - bench CLI surface; an unknown dataset name is a usage error and must abort with the name in the message
     let g = by_name(name, scale(), 0xA155).unwrap_or_else(|| panic!("unknown dataset {name}"));
     if let Ok(text) = serde_json::to_string(&g) {
         std::fs::write(&path, text).ok();

@@ -42,7 +42,15 @@ impl TableWriter {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&fmt_row(r, &widths));
@@ -97,7 +105,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(1.23456), "1.23");
         assert_eq!(fnum(12345678.0), "1.23e7");
         assert_eq!(fnum(250.0), "250");
     }

@@ -227,7 +227,11 @@ mod tests {
         let c = ens.predict_count(&eq);
         assert!(c.is_finite() && c >= 1.0);
         // geometric mean in log space: must lie within the member range
-        let members: Vec<f64> = ens.models.iter().map(|m| m.predict(&eq).log10_count).collect();
+        let members: Vec<f64> = ens
+            .models
+            .iter()
+            .map(|m| m.predict(&eq).log10_count)
+            .collect();
         let lo = members.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = members.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mean_log = c.log10();

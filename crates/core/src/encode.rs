@@ -197,16 +197,22 @@ impl Encoder {
         out.extend(std::iter::repeat_n(0.0, self.num_labels));
         for &l in labels {
             if l != WILDCARD && (l as usize) < self.num_labels {
-                out[start + l as usize] = self.stats.selectivity(l) as f32 - 1.0;
+                // feature narrowing: selectivities are O(1) magnitudes
+                #[allow(clippy::cast_possible_truncation)]
+                let sel = self.stats.selectivity(l) as f32;
+                out[start + l as usize] = sel - 1.0;
             }
         }
     }
 
     fn embedding_features_multi(&self, labels: &[u32], out: &mut Vec<f32>) {
-        let table = self
-            .label_embedding
-            .as_ref()
-            .expect("embedding encoder without table");
+        let Some(table) = self.label_embedding.as_ref() else {
+            // The table is Some whenever the encoding is Embedding (set at
+            // construction). Emitting no features here mis-sizes the
+            // vector, which the model's input-width check then reports.
+            debug_assert!(false, "embedding encoder constructed without table");
+            return;
+        };
         let dim = table.first().map_or(0, |v| v.len());
         let start = out.len();
         out.extend(std::iter::repeat_n(0.0, dim));
@@ -225,7 +231,11 @@ impl Encoder {
         (0..self.num_edge_labels)
             .map(|i| {
                 if label != WILDCARD && label as usize == i {
-                    self.stats.edge_selectivity(label) as f32
+                    // feature narrowing: selectivities are O(1) magnitudes
+                    #[allow(clippy::cast_possible_truncation)]
+                    {
+                        self.stats.edge_selectivity(label) as f32
+                    }
                 } else {
                     1.0
                 }

@@ -49,15 +49,13 @@ impl QErrorStats {
         let mut qs: Vec<f64> = pairs.iter().map(|&(c, e)| q_error(c, e)).collect();
         qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let pct = |p: f64| -> f64 {
+            // quantile position: p ∈ [0, 1] keeps the product within 0..len.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let idx = (p * (qs.len() - 1) as f64).round() as usize;
             qs[idx]
         };
         let geo = (qs.iter().map(|q| q.ln()).sum::<f64>() / qs.len() as f64).exp();
-        let l1 = pairs
-            .iter()
-            .map(|&(c, e)| l1_log_error(c, e))
-            .sum::<f64>()
-            / pairs.len() as f64;
+        let l1 = pairs.iter().map(|&(c, e)| l1_log_error(c, e)).sum::<f64>() / pairs.len() as f64;
         Some(QErrorStats {
             count: qs.len(),
             min: qs[0],
@@ -65,7 +63,7 @@ impl QErrorStats {
             median: pct(0.5),
             p75: pct(0.75),
             p95: pct(0.95),
-            max: *qs.last().expect("non-empty"),
+            max: qs[qs.len() - 1],
             geo_mean: geo,
             l1_log: l1,
         })

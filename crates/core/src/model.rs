@@ -12,8 +12,7 @@ use serde::{Deserialize, Serialize};
 /// How per-substructure representations are aggregated into the query
 /// representation (`w(·)` of Eq. 2): the paper's structured self-attention
 /// or a plain unweighted sum (the `ablation_attention` baseline).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Aggregator {
     /// Structured self-attention (Algorithm 1, lines 8–11).
     #[default]
@@ -21,7 +20,6 @@ pub enum Aggregator {
     /// Unweighted sum of substructure representations.
     SumPool,
 }
-
 
 /// LSS hyper-parameters (§6.1 defaults: 3 GIN layers × 64 hidden units,
 /// dropout 0.5, two-layer MLP, λ = 1/3).
@@ -214,7 +212,10 @@ impl LssModel {
         query: &EncodedQuery,
         rng: &mut R,
     ) -> (Var, Var) {
-        assert!(!query.subs.is_empty(), "query decomposed into no substructures");
+        assert!(
+            !query.subs.is_empty(),
+            "query decomposed into no substructures"
+        );
         let mut reps: Vec<Var> = Vec::with_capacity(query.subs.len());
         for s in &query.subs {
             let x = tape.input(s.features.clone());
@@ -244,6 +245,8 @@ impl LssModel {
         rng: &mut R,
     ) -> Var {
         let (reg, logits) = self.forward(tape, query, rng);
+        // log10 of a u64 fits comfortably in f32 (< 20)
+        #[allow(clippy::cast_possible_truncation)]
         let target_log = (true_count.max(1) as f64).log10() as f32;
         let l_reg = mse_log_loss(tape, reg, &[target_log]);
         let cls = magnitude_class(true_count as f64, self.cfg.num_classes);
@@ -378,7 +381,10 @@ mod tests {
         let back: LssModel = serde_json::from_str(&json).expect("deserialize");
         let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]);
         let eq = enc.encode_query(&q);
-        assert_eq!(model.predict(&eq).log10_count, back.predict(&eq).log10_count);
+        assert_eq!(
+            model.predict(&eq).log10_count,
+            back.predict(&eq).log10_count
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ impl LearnedSketch {
     /// Load a sketch persisted with [`LearnedSketch::save`].
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        Self::from_json(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Build the encoder for a data graph per the configuration.
@@ -110,9 +109,7 @@ impl LearnedSketch {
         match cfg.encoding {
             EncodingKind::Frequency => Encoder::frequency(data, cfg.hops),
             EncodingKind::Embedding => Encoder::embedding(data, cfg.hops, &prone, &mut rng),
-            EncodingKind::Concatenated => {
-                Encoder::concatenated(data, cfg.hops, &prone, &mut rng)
-            }
+            EncodingKind::Concatenated => Encoder::concatenated(data, cfg.hops, &prone, &mut rng),
         }
     }
 
@@ -243,7 +240,8 @@ mod tests {
     fn real_workload(data: &Graph) -> Workload {
         // label real path/triangle queries with exact counts
         let mut qs = Vec::new();
-        let shapes: Vec<(Vec<u32>, Vec<(u32, u32)>)> = vec![
+        type Shape = (Vec<u32>, Vec<(u32, u32)>);
+        let shapes: Vec<Shape> = vec![
             (vec![0, 0], vec![(0, 1)]),
             (vec![0, 1], vec![(0, 1)]),
             (vec![1, 1], vec![(0, 1)]),

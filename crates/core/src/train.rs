@@ -196,7 +196,17 @@ pub fn weighted_sample_without_replacement<R: Rng>(
                     break;
                 }
             }
-            sel.unwrap_or_else(|| (0..n).rfind(|&i| !picked[i]).expect("items remain"))
+            // Float round-off can leave `t` barely positive after the last
+            // unpicked item; fall back to the highest unpicked index.
+            match sel.or_else(|| (0..n).rfind(|&i| !picked[i])) {
+                Some(i) => i,
+                None => {
+                    // Unreachable: `k <= n` bounds the loop, so an unpicked
+                    // item always remains.
+                    debug_assert!(false, "items remain");
+                    break;
+                }
+            }
         };
         picked[choice] = true;
         w[choice] = 0.0;
@@ -209,9 +219,9 @@ pub fn weighted_sample_without_replacement<R: Rng>(
 mod tests {
     use super::*;
     use crate::model::LssConfig;
+    use crate::workload::LabeledQuery;
     use alss_graph::builder::graph_from_edges;
     use alss_graph::Graph;
-    use crate::workload::LabeledQuery;
 
     fn data_graph() -> Graph {
         graph_from_edges(&[0, 0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])

@@ -35,6 +35,15 @@ pub struct Workload {
     pub queries: Vec<LabeledQuery>,
 }
 
+/// `⌊frac · n⌉` clamped to `0..=n`: the one float→usize cast for
+/// workload split sizes, total by construction.
+fn split_size(n: usize, frac: f64) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // clamped to [0, n] immediately above the cast; n < 2^53 in practice
+    let k = ((n as f64) * frac).round().clamp(0.0, n as f64) as usize;
+    k
+}
+
 impl Workload {
     /// Empty workload.
     pub fn new() -> Self {
@@ -85,10 +94,9 @@ impl Workload {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for size in self.sizes() {
-            let mut bucket: Vec<LabeledQuery> =
-                self.of_size(size).into_iter().cloned().collect();
+            let mut bucket: Vec<LabeledQuery> = self.of_size(size).into_iter().cloned().collect();
             bucket.shuffle(rng);
-            let k = ((bucket.len() as f64) * train_frac).round() as usize;
+            let k = split_size(bucket.len(), train_frac);
             for (i, q) in bucket.into_iter().enumerate() {
                 if i < k {
                     train.push(q);
@@ -102,17 +110,12 @@ impl Workload {
 
     /// Split into `fractions.len()` parts stratified by size (e.g. the
     /// 60/20/20 split of §6.4). Fractions must sum to ≈ 1.
-    pub fn stratified_multi_split<R: Rng>(
-        &self,
-        fractions: &[f64],
-        rng: &mut R,
-    ) -> Vec<Workload> {
+    pub fn stratified_multi_split<R: Rng>(&self, fractions: &[f64], rng: &mut R) -> Vec<Workload> {
         let total: f64 = fractions.iter().sum();
         assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1");
         let mut parts: Vec<Vec<LabeledQuery>> = vec![Vec::new(); fractions.len()];
         for size in self.sizes() {
-            let mut bucket: Vec<LabeledQuery> =
-                self.of_size(size).into_iter().cloned().collect();
+            let mut bucket: Vec<LabeledQuery> = self.of_size(size).into_iter().cloned().collect();
             bucket.shuffle(rng);
             let n = bucket.len();
             let mut start = 0usize;
@@ -120,7 +123,7 @@ impl Workload {
                 let take = if pi + 1 == fractions.len() {
                     n - start
                 } else {
-                    ((n as f64) * f).round() as usize
+                    split_size(n, f)
                 };
                 let end = (start + take).min(n);
                 parts[pi].extend(bucket[start..end].iter().cloned());

@@ -13,8 +13,8 @@ pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<(u32, u32)> {
     let max_edges = n * (n - 1) / 2;
     let m = m.min(max_edges);
     while edges.len() < m {
-        let u = rng.gen_range(0..n as u32);
-        let v = rng.gen_range(0..n as u32);
+        let u = rng.gen_range(0..alss_graph::node_id(n));
+        let v = rng.gen_range(0..alss_graph::node_id(n));
         if u == v {
             continue;
         }
@@ -33,13 +33,13 @@ pub fn barabasi_albert<R: Rng>(n: usize, m_per_node: usize, rng: &mut R) -> Vec<
     assert!(n > m_per_node && m_per_node >= 1, "invalid BA parameters");
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m_per_node);
     // target list: node ids repeated once per degree (classic implementation)
-    let mut targets: Vec<u32> = (0..=m_per_node as u32).collect();
+    let mut targets: Vec<u32> = (0..=alss_graph::node_id(m_per_node)).collect();
     // seed clique-ish: connect initial m+1 nodes in a path
-    for i in 0..m_per_node as u32 {
+    for i in 0..alss_graph::node_id(m_per_node) {
         edges.push((i, i + 1));
     }
     let mut degree_pool: Vec<u32> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
-    for v in (m_per_node as u32 + 1)..n as u32 {
+    for v in (alss_graph::node_id(m_per_node) + 1)..alss_graph::node_id(n) {
         targets.clear();
         let mut tries = 0;
         while targets.len() < m_per_node && tries < 50 * m_per_node {
@@ -64,13 +64,13 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Vec
     assert!(n > 2 * k && k >= 1, "invalid WS parameters");
     let mut seen = std::collections::HashSet::new();
     let mut edges = Vec::new();
-    for v in 0..n as u32 {
-        for j in 1..=k as u32 {
-            let mut u = (v + j) % n as u32;
+    for v in 0..alss_graph::node_id(n) {
+        for j in 1..=alss_graph::node_id(k) {
+            let mut u = (v + j) % alss_graph::node_id(n);
             if rng.gen_bool(beta.clamp(0.0, 1.0)) {
                 // rewire to a random non-neighbor
                 for _ in 0..20 {
-                    let cand = rng.gen_range(0..n as u32);
+                    let cand = rng.gen_range(0..alss_graph::node_id(n));
                     let key = if v < cand { (v, cand) } else { (cand, v) };
                     if cand != v && !seen.contains(&key) {
                         u = cand;
@@ -105,18 +105,18 @@ pub fn molecule_forest<R: Rng>(
         let base = next;
         // random tree: attach node i to a random earlier node (chemistry-like
         // low branching: bias toward recent nodes)
-        for i in 1..size as u32 {
+        for i in 1..alss_graph::node_id(size) {
             let lo = i.saturating_sub(4);
             let p = rng.gen_range(lo..i);
             edges.push((base + p, base + i));
         }
         // occasional ring closure
         if size >= 4 && rng.gen_bool(ring_prob.clamp(0.0, 1.0)) {
-            let a = rng.gen_range(0..size as u32 / 2);
-            let b = rng.gen_range(size as u32 / 2..size as u32);
+            let a = rng.gen_range(0..alss_graph::node_id(size) / 2);
+            let b = rng.gen_range(alss_graph::node_id(size) / 2..alss_graph::node_id(size));
             edges.push((base + a, base + b));
         }
-        next += size as u32;
+        next += alss_graph::node_id(size);
     }
     edges
 }
@@ -138,8 +138,8 @@ pub fn knowledge_graph<R: Rng>(
     let mut seen: std::collections::HashSet<(u32, u32)> =
         edges.iter().map(|&(u, v, _)| (u, v)).collect();
     while edges.len() < m {
-        let u = rng.gen_range(0..n as u32);
-        let v = rng.gen_range(0..n as u32);
+        let u = rng.gen_range(0..alss_graph::node_id(n));
+        let v = rng.gen_range(0..alss_graph::node_id(n));
         if u == v {
             continue;
         }

@@ -161,12 +161,7 @@ pub fn assign_pattern_labels<R: Rng>(
 }
 
 /// Extract `count` unlabeled connected patterns of a given size (§6.6).
-pub fn unlabeled_patterns(
-    data: &Graph,
-    size: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<Graph> {
+pub fn unlabeled_patterns(data: &Graph, size: usize, count: usize, seed: u64) -> Vec<Graph> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -250,7 +245,10 @@ mod tests {
             .nodes()
             .filter(|&v| frequent.contains(&labeled.label(v)))
             .count();
-        assert!(n_freq >= 2, "expected ≥ 2 frequent-labeled nodes, got {n_freq}");
+        assert!(
+            n_freq >= 2,
+            "expected ≥ 2 frequent-labeled nodes, got {n_freq}"
+        );
         // all nodes labeled (no wildcards)
         assert!(labeled.nodes().all(|v| labeled.label(v) != WILDCARD));
     }

@@ -61,7 +61,7 @@ pub fn assign_labels<R: Rng>(n: usize, k: usize, entropy: f64, rng: &mut R) -> V
     (0..n)
         .map(|_| {
             let u: f64 = rng.gen();
-            cum.partition_point(|&c| c < u).min(k - 1) as u32
+            alss_graph::label_id(cum.partition_point(|&c| c < u).min(k - 1))
         })
         .collect()
 }
@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn assigned_labels_match_entropy_roughly() {
         let mut rng = SmallRng::seed_from_u64(0);
-        let labels = assign_labels(200_00, 51, 0.93, &mut rng);
+        let labels = assign_labels(20_000, 51, 0.93, &mut rng);
         assert!(labels.iter().all(|&l| l < 51));
         // empirical entropy
         let mut freq = vec![0usize; 51];

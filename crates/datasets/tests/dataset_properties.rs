@@ -1,6 +1,14 @@
 //! Property tests over the synthetic-dataset generators and workload
 //! machinery.
 
+// Test code opts back out of the library panic/numeric policy: a panic IS
+// the failure report here, and fixtures are tiny.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
 use alss_datasets::queries::{generate_workload, unlabeled_pool, WorkloadSpec};
 use alss_datasets::zipf::{calibrate_exponent, entropy_of, zipf_probs};
 use alss_datasets::{all_specs, by_name};

@@ -35,14 +35,7 @@ impl Default for Node2VecConfig {
 
 /// Train node2vec embeddings for every node of `g`.
 pub fn node2vec<R: Rng>(g: &Graph, cfg: &Node2VecConfig, rng: &mut R) -> Embedding {
-    let walks = biased_walks(
-        g,
-        cfg.walks_per_node,
-        cfg.walk_length,
-        cfg.p,
-        cfg.q,
-        rng,
-    );
+    let walks = biased_walks(g, cfg.walks_per_node, cfg.walk_length, cfg.p, cfg.q, rng);
     train_skipgram(g.num_nodes(), &walks, &cfg.skipgram, rng)
 }
 

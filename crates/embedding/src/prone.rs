@@ -52,7 +52,7 @@ impl Default for ProneConfig {
 /// for the small `k ≤ 16`, `|x| ≤ 2` regime of ProNE's coefficients).
 pub fn bessel_j(k: usize, x: f64) -> f64 {
     let half = x / 2.0;
-    let mut term = half.powi(k as i32);
+    let mut term = half.powi(i32::try_from(k).unwrap_or(i32::MAX));
     for m in 1..=k {
         term /= m as f64;
     }
@@ -92,9 +92,12 @@ pub fn spectral_propagate(
 
     let mut t_prev = flat.clone(); // T_0 = X
     let mut t_cur = apply_l(&flat); // T_1 = L̃ X
+                                    // Chebyshev coefficients are O(1); narrowing to f32 is intentional.
+    #[allow(clippy::cast_possible_truncation)]
     let c0 = bessel_j(0, theta as f64) as f32;
     let mut acc: Vec<f32> = t_prev.iter().map(|&x| c0 * x).collect();
     for k in 1..=order {
+        #[allow(clippy::cast_possible_truncation)] // same O(1) coefficient narrowing
         let ck = (2.0 * if k % 2 == 0 { 1.0 } else { -1.0 } * bessel_j(k, theta as f64)) as f32;
         for (a, &t) in acc.iter_mut().zip(&t_cur) {
             *a += ck * t;
@@ -102,11 +105,7 @@ pub fn spectral_propagate(
         if k < order {
             // T_{k+1} = 2 L̃ T_k − T_{k−1}
             let lt = apply_l(&t_cur);
-            let t_next: Vec<f32> = lt
-                .iter()
-                .zip(&t_prev)
-                .map(|(&l, &p)| 2.0 * l - p)
-                .collect();
+            let t_next: Vec<f32> = lt.iter().zip(&t_prev).map(|(&l, &p)| 2.0 * l - p).collect();
             t_prev = std::mem::replace(&mut t_cur, t_next);
         }
     }

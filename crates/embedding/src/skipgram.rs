@@ -62,9 +62,11 @@ impl NegativeTable {
             return NegativeTable { table };
         }
         for (v, &p) in pow.iter().enumerate() {
+            // p/total ∈ [0, 1], so cnt ≤ size: no truncation possible
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let cnt = ((p / total) * size as f64).round() as usize;
             for _ in 0..cnt.max(if p > 0.0 { 1 } else { 0 }) {
-                table.push(v as NodeId);
+                table.push(alss_graph::node_id(v));
             }
         }
         if table.is_empty() {
@@ -104,7 +106,12 @@ pub fn train_skipgram<R: Rng>(
         for walk in walks {
             for (i, &center) in walk.iter().enumerate() {
                 step += 1;
-                let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(1e-4);
+                // Progress is computed in f64 so large step counts (beyond
+                // f32's 24-bit mantissa) don't truncate; only the ratio in
+                // [0, 1] is narrowed.
+                #[allow(clippy::cast_possible_truncation)] // ratio ∈ [0, 1]
+                let progress = (step as f64 / total_steps as f64) as f32;
+                let lr = cfg.lr * (1.0 - progress).max(1e-4);
                 let lo = i.saturating_sub(cfg.window);
                 let hi = (i + cfg.window + 1).min(walk.len());
                 for &context in &walk[lo..hi] {

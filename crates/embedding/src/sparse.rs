@@ -51,13 +51,16 @@ impl SparseMatrix {
     /// rSVD factorization stage and Chebyshev propagation.
     pub fn normalized_adjacency(g: &Graph) -> Self {
         let n = g.num_nodes();
-        let deg: Vec<f32> = (0..n).map(|v| g.degree(v as u32) as f32 + 1.0).collect();
+        let deg: Vec<f32> = (0..n)
+            .map(|v| g.degree(alss_graph::node_id(v)) as f32 + 1.0)
+            .collect();
         let isq: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
         let rows = (0..n)
             .map(|v| {
-                let mut row: Vec<(u32, f32)> = Vec::with_capacity(g.degree(v as u32) + 1);
-                row.push((v as u32, isq[v] * isq[v]));
-                for &u in g.neighbors(v as u32) {
+                let vid = alss_graph::node_id(v);
+                let mut row: Vec<(u32, f32)> = Vec::with_capacity(g.degree(vid) + 1);
+                row.push((vid, isq[v] * isq[v]));
+                for &u in g.neighbors(vid) {
                     row.push((u, isq[v] * isq[u as usize]));
                 }
                 row.sort_unstable_by_key(|&(c, _)| c);

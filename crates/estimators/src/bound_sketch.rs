@@ -89,10 +89,7 @@ mod tests {
         let bs = BoundSketch::new(&d);
         let mut rng = SmallRng::seed_from_u64(3);
         let labeled = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
-        let unlabeled = graph_from_edges(
-            &[alss_graph::WILDCARD; 3],
-            &[(0, 1), (1, 2), (0, 2)],
-        );
+        let unlabeled = graph_from_edges(&[alss_graph::WILDCARD; 3], &[(0, 1), (1, 2), (0, 2)]);
         let bl = bs.estimate(&labeled, &mut rng).count;
         let bu = bs.estimate(&unlabeled, &mut rng).count;
         assert!(bl <= bu, "labeled bound {bl} should be ≤ unlabeled {bu}");

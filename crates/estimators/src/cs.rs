@@ -29,6 +29,8 @@ impl<'g> CorrelatedSampling<'g> {
     /// The sampled subgraph is materialized once and reused for all queries.
     pub fn new(data: &'g Graph, p: f64, seed: u64, budget_per_query: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        // p ∈ [0, 1] is asserted above, so the product lies in [0, 2^64).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let threshold = (p * u64::MAX as f64) as u64;
         let keep: Vec<bool> = data
             .nodes()
@@ -39,15 +41,15 @@ impl<'g> CorrelatedSampling<'g> {
         let mut kept_nodes: Vec<NodeId> = Vec::new();
         for v in data.nodes() {
             if keep[v as usize] {
-                remap[v as usize] = kept_nodes.len() as u32;
+                remap[v as usize] = alss_graph::node_id(kept_nodes.len());
                 kept_nodes.push(v);
             }
         }
         let mut b = GraphBuilder::new(kept_nodes.len());
         for (i, &v) in kept_nodes.iter().enumerate() {
-            b.set_label(i as NodeId, data.label(v));
+            b.set_label(alss_graph::node_id(i), data.label(v));
             for l in data.extra_labels(v) {
-                b.add_extra_label(i as NodeId, *l);
+                b.add_extra_label(alss_graph::node_id(i), *l);
             }
         }
         for e in data.edges() {
@@ -87,7 +89,8 @@ impl CardinalityEstimator for CorrelatedSampling<'_> {
         if c == 0 {
             return Estimate::failure();
         }
-        let scale = self.p.powi(-(query.num_nodes() as i32));
+        let exp = i32::try_from(query.num_nodes()).unwrap_or(i32::MAX);
+        let scale = self.p.powi(-exp);
         Estimate::ok(c as f64 * scale)
     }
 }

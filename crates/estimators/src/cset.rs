@@ -124,7 +124,12 @@ impl CharacteristicSets {
                     best = Some((cnt, v));
                 }
             }
-            let (_, center) = best.expect("uncovered edge must touch a node");
+            let Some((_, center)) = best else {
+                // Unreachable while `covered_cnt < m`: every uncovered edge
+                // has two endpoints, so some node has positive count.
+                debug_assert!(false, "uncovered edge must touch a node");
+                break;
+            };
             let mut leaves = Vec::new();
             let mut touched: BTreeSet<NodeId> = BTreeSet::new();
             touched.insert(center);

@@ -55,7 +55,7 @@ impl<'g> Impr<'g> {
         if n == 0 {
             return None;
         }
-        let mut cur = rng.gen_range(0..n) as NodeId;
+        let mut cur = alss_graph::node_id(rng.gen_range(0..n));
         let mut seen: Vec<NodeId> = vec![cur];
         for _ in 0..self.walk_length {
             let nbrs = self.data.neighbors(cur);
@@ -72,13 +72,13 @@ impl<'g> Impr<'g> {
         }
         let mut remap = std::collections::HashMap::new();
         for (i, &v) in seen.iter().enumerate() {
-            remap.insert(v, i as NodeId);
+            remap.insert(v, alss_graph::node_id(i));
         }
         let mut b = GraphBuilder::new(seen.len());
         for (i, &v) in seen.iter().enumerate() {
-            b.set_label(i as NodeId, self.data.label(v));
+            b.set_label(alss_graph::node_id(i), self.data.label(v));
             for l in self.data.extra_labels(v) {
-                b.add_extra_label(i as NodeId, *l);
+                b.add_extra_label(alss_graph::node_id(i), *l);
             }
         }
         for &v in &seen {

@@ -50,7 +50,7 @@ impl<'g> LabelIndex<'g> {
     pub fn sample_candidate<R: Rng>(&self, l: LabelId, rng: &mut R) -> Option<NodeId> {
         if l == WILDCARD {
             let n = self.data.num_nodes();
-            (n > 0).then(|| rng.gen_range(0..n) as NodeId)
+            (n > 0).then(|| alss_graph::node_id(rng.gen_range(0..n)))
         } else {
             let v = self.by_label.get(&l)?;
             (!v.is_empty()).then(|| v[rng.gen_range(0..v.len())])
@@ -77,10 +77,11 @@ pub fn walk_order(q: &Graph, index: &LabelIndex<'_>) -> WalkOrder {
     let n = q.num_nodes();
     assert!(n > 0, "empty query");
     let mut placed = vec![false; n];
+    // `n > 0` is asserted above; the fallback keeps the expression total.
     let start = q
         .nodes()
         .min_by_key(|&v| (index.candidate_count(q.label(v)), v))
-        .expect("non-empty query");
+        .unwrap_or(0);
     let mut order = vec![start];
     placed[start as usize] = true;
     while order.len() < n {
@@ -94,16 +95,16 @@ pub fn walk_order(q: &Graph, index: &LabelIndex<'_>) -> WalkOrder {
                 .iter()
                 .filter(|&&u| placed[u as usize])
                 .count();
-            let key = (
-                usize::MAX - conn,
-                index.candidate_count(q.label(v)),
-                v,
-            );
+            let key = (usize::MAX - conn, index.candidate_count(q.label(v)), v);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
-        let (_, _, v) = best.expect("remaining node");
+        let Some((_, _, v)) = best else {
+            // Unreachable while `order.len() < n`: some node is unplaced.
+            debug_assert!(false, "remaining node");
+            break;
+        };
         order.push(v);
         placed[v as usize] = true;
     }

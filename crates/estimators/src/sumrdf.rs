@@ -169,10 +169,7 @@ mod tests {
     fn underestimates_clustered_triangles() {
         // data: a triangle plus isolated-ish nodes of the same label —
         // uniformity spreads the edge mass and misses the clustering
-        let d = graph_from_edges(
-            &[0, 0, 0, 0, 0, 0],
-            &[(0, 1), (1, 2), (0, 2)],
-        );
+        let d = graph_from_edges(&[0, 0, 0, 0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
         let s = SumRdf::new(&d);
         let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
         let truth = count_homomorphisms(&d, &q, &Budget::unlimited()).unwrap() as f64;

@@ -62,9 +62,12 @@ impl<'g> WanderJoin<'g> {
             debug_assert!(!bw.is_empty(), "walk order must be connected");
             let anchor = bw[0];
             let au = map[anchor];
-            let ql = q
-                .edge_label(wo.order[anchor], qv)
-                .expect("anchor implies edge");
+            let Some(ql) = q.edge_label(wo.order[anchor], qv) else {
+                // An anchor is by construction an already-walked neighbor;
+                // a missing edge means a malformed order — score the walk 0.
+                debug_assert!(false, "anchor implies edge");
+                return 0.0;
+            };
             // compatible neighbors of the anchor image
             let nbrs = data.neighbors(au);
             let elabels = data.neighbor_edge_labels(au);
@@ -93,7 +96,10 @@ impl<'g> WanderJoin<'g> {
                 let du = map[j];
                 match data.edge_label(du, dv) {
                     Some(dl) => {
-                        let ql2 = q.edge_label(qu, qv).expect("query edge");
+                        let Some(ql2) = q.edge_label(qu, qv) else {
+                            debug_assert!(false, "backward position implies query edge");
+                            return 0.0;
+                        };
                         if !label_matches(ql2, dl) {
                             return 0.0;
                         }

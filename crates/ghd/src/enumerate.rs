@@ -37,11 +37,14 @@ impl Decomposition {
         let mut local = std::collections::HashMap::new();
         let mut order = Vec::new();
         for &n in &bag.nodes {
-            local.insert(n, order.len() as NodeId);
+            local.insert(n, alss_graph::node_id(order.len()));
             order.push(n);
         }
         let mut b = GraphBuilder::new(order.len());
-        for (&n, &l) in order.iter().zip(order.iter().map(|&n| local[&n]).collect::<Vec<_>>().iter()) {
+        for (&n, &l) in order
+            .iter()
+            .zip(order.iter().map(|&n| local[&n]).collect::<Vec<_>>().iter())
+        {
             b.set_label(l, q.label(n));
         }
         for &ei in &bag.edges {
@@ -150,7 +153,10 @@ pub fn enumerate_ghds(q: &Graph, max_bags: usize) -> Vec<Decomposition> {
     let qedges: Vec<(NodeId, NodeId)> = q.edges().map(|e| (e.u, e.v)).collect();
     let m = qedges.len();
     assert!(m >= 1, "query has no edges");
-    assert!(m <= MAX_EDGES, "GHD enumeration limited to {MAX_EDGES} edges");
+    assert!(
+        m <= MAX_EDGES,
+        "GHD enumeration limited to {MAX_EDGES} edges"
+    );
     let mut out = Vec::new();
     let mut assign = vec![0usize; m];
 
@@ -222,7 +228,11 @@ mod tests {
     #[test]
     fn gyo_accepts_acyclic_hypergraphs() {
         // join tree: {0,1},{1,2},{2,3}
-        assert!(is_alpha_acyclic(&[set(&[0, 1]), set(&[1, 2]), set(&[2, 3])]));
+        assert!(is_alpha_acyclic(&[
+            set(&[0, 1]),
+            set(&[1, 2]),
+            set(&[2, 3])
+        ]));
         // single hyperedge always acyclic
         assert!(is_alpha_acyclic(&[set(&[0, 1, 2])]));
         // triangle covered by one bag
@@ -232,7 +242,11 @@ mod tests {
     #[test]
     fn gyo_rejects_cyclic_hypergraphs() {
         // the triangle as three binary hyperedges is the classic cycle
-        assert!(!is_alpha_acyclic(&[set(&[0, 1]), set(&[1, 2]), set(&[0, 2])]));
+        assert!(!is_alpha_acyclic(&[
+            set(&[0, 1]),
+            set(&[1, 2]),
+            set(&[0, 2])
+        ]));
     }
 
     #[test]

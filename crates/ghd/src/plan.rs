@@ -131,12 +131,7 @@ pub fn choose_plan(
 
 /// True cost of a plan: `max_i |R_{τ_i}|` by exact homomorphism counting.
 /// Returns `None` if any bag count exceeds the budget.
-pub fn true_cost(
-    data: &Graph,
-    q: &Graph,
-    d: &Decomposition,
-    budget: &Budget,
-) -> Option<u64> {
+pub fn true_cost(data: &Graph, q: &Graph, d: &Decomposition, budget: &Budget) -> Option<u64> {
     let mut cost = 0u64;
     for b in 0..d.bags.len() {
         let (bq, _) = d.bag_query(q, b);

@@ -143,7 +143,15 @@ fn simplex_core(
     }
 }
 
-fn pivot(t: &mut [f64], rhs: &mut [f64], basis: &mut [usize], cols: usize, m: usize, pr: usize, pc: usize) {
+fn pivot(
+    t: &mut [f64],
+    rhs: &mut [f64],
+    basis: &mut [usize],
+    cols: usize,
+    m: usize,
+    pr: usize,
+    pc: usize,
+) {
     let pv = t[pr * cols + pc];
     debug_assert!(pv.abs() > 1e-12, "pivot on ~zero element");
     for j in 0..cols {

@@ -1,6 +1,6 @@
 //! The label-augmented graph `G_L` of §4.3 (Fig. 3).
 
-use crate::{Graph, GraphBuilder, LabelId, NodeId};
+use crate::{label_id, node_id, Graph, GraphBuilder, LabelId, NodeId};
 
 /// Result of [`label_augmented_graph`]: the augmented graph plus the mapping
 /// from labels to their dedicated nodes.
@@ -17,7 +17,7 @@ impl AugmentedGraph {
     /// Node id in `G_L` representing label `l`.
     #[inline]
     pub fn label_node(&self, l: LabelId) -> NodeId {
-        (self.base + l as usize) as NodeId
+        node_id(self.base + l as usize)
     }
 
     /// Inverse of [`AugmentedGraph::label_node`]: if `v` is a label node,
@@ -25,7 +25,7 @@ impl AugmentedGraph {
     #[inline]
     pub fn node_label_id(&self, v: NodeId) -> Option<LabelId> {
         if (v as usize) >= self.base {
-            Some((v as usize - self.base) as LabelId)
+            Some(label_id(v as usize - self.base))
         } else {
             None
         }
@@ -48,14 +48,14 @@ pub fn label_augmented_graph(g: &Graph) -> AugmentedGraph {
         b.set_label(v, g.label(v));
     }
     for l in 0..sigma {
-        b.set_label((n + l) as NodeId, l as LabelId);
+        b.set_label(node_id(n + l), label_id(l));
     }
     for e in g.edges() {
         b.add_edge(e.u, e.v);
     }
     for v in g.nodes() {
         for l in g.labels_of(v) {
-            b.add_edge(v, (n + l as usize) as NodeId);
+            b.add_edge(v, node_id(n + l as usize));
         }
     }
     AugmentedGraph {

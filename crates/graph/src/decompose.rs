@@ -1,6 +1,6 @@
 //! Query decomposition into per-root BFS-tree substructures (§4.2).
 
-use crate::{bfs_tree, Graph, GraphBuilder, NodeId, WILDCARD};
+use crate::{bfs_tree, node_id, Graph, GraphBuilder, NodeId, WILDCARD};
 
 /// One decomposed substructure `s_i` of a query graph: an `l`-hop BFS tree
 /// materialized as a small labeled graph with local (dense) node ids.
@@ -32,13 +32,13 @@ pub fn substructure_at(q: &Graph, root: NodeId, l: u32) -> Substructure {
     let t = bfs_tree(q, root, l);
     let mut local = vec![u32::MAX; q.num_nodes()];
     for (i, &v) in t.nodes.iter().enumerate() {
-        local[v as usize] = i as u32;
+        local[v as usize] = node_id(i);
     }
     let mut b = GraphBuilder::new(t.nodes.len());
     for (i, &v) in t.nodes.iter().enumerate() {
-        b.set_label(i as NodeId, q.label(v));
+        b.set_label(node_id(i), q.label(v));
         for l in q.extra_labels(v) {
-            b.add_extra_label(i as NodeId, *l);
+            b.add_extra_label(node_id(i), *l);
         }
     }
     for &(u, v) in &t.edges {
@@ -74,8 +74,7 @@ pub fn is_complete(q: &Graph, subs: &[Substructure]) -> bool {
             edge_cov.insert(if a < b { (a, b) } else { (b, a) });
         }
     }
-    node_cov.iter().all(|&c| c)
-        && q.edges().all(|e| edge_cov.contains(&(e.u, e.v)))
+    node_cov.iter().all(|&c| c) && q.edges().all(|e| edge_cov.contains(&(e.u, e.v)))
 }
 
 #[cfg(test)]
@@ -84,10 +83,7 @@ mod tests {
     use crate::builder::graph_from_edges;
 
     fn square_with_diagonal() -> Graph {
-        graph_from_edges(
-            &[0, 1, 2, 3],
-            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)],
-        )
+        graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
     }
 
     #[test]

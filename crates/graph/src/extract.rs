@@ -6,7 +6,7 @@
 //! knobs for induced vs. sparsified edges and for dropping labels to
 //! wildcards.
 
-use crate::{Graph, GraphBuilder, NodeId, WILDCARD};
+use crate::{node_id, Graph, GraphBuilder, NodeId, WILDCARD};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -52,7 +52,7 @@ pub fn extract_query<R: Rng>(
     if size == 0 || g.num_nodes() < size {
         return None;
     }
-    let start = rng.gen_range(0..g.num_nodes()) as NodeId;
+    let start = node_id(rng.gen_range(0..g.num_nodes()));
     let mut selected: Vec<NodeId> = vec![start];
     let mut in_set = std::collections::HashSet::new();
     in_set.insert(start);
@@ -82,16 +82,16 @@ pub fn extract_query<R: Rng>(
 
     let mut local = std::collections::HashMap::new();
     for (i, &v) in selected.iter().enumerate() {
-        local.insert(v, i as NodeId);
+        local.insert(v, node_id(i));
     }
     let mut b = GraphBuilder::new(size);
     for (i, &v) in selected.iter().enumerate() {
         if rng.gen_bool(opts.wildcard_prob.clamp(0.0, 1.0)) {
-            b.set_label(i as NodeId, WILDCARD);
+            b.set_label(node_id(i), WILDCARD);
         } else {
-            b.set_label(i as NodeId, g.label(v));
+            b.set_label(node_id(i), g.label(v));
             for l in g.extra_labels(v) {
-                b.add_extra_label(i as NodeId, *l);
+                b.add_extra_label(node_id(i), *l);
             }
         }
     }
@@ -101,8 +101,8 @@ pub fn extract_query<R: Rng>(
     for (i, &v) in selected.iter().enumerate() {
         for &u in g.neighbors(v) {
             if let Some(&lu) = local.get(&u) {
-                if lu < i as NodeId {
-                    induced_edges.push((lu, i as NodeId));
+                if lu < node_id(i) {
+                    induced_edges.push((lu, node_id(i)));
                 }
             }
         }
@@ -165,7 +165,7 @@ pub fn extract_pattern<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -97,10 +97,14 @@ pub fn from_text(text: &str) -> Result<Graph, ParseError> {
                 if (id as usize) >= b.num_nodes() {
                     return Err(err(ln, "node id out of range"));
                 }
-                b.set_label(id, if lab < 0 { WILDCARD } else { lab as LabelId });
+                let label = if lab < 0 {
+                    WILDCARD
+                } else {
+                    LabelId::try_from(lab).map_err(|_| err(ln, "label out of range"))?
+                };
+                b.set_label(id, label);
                 for tok in it {
-                    let extra: LabelId =
-                        tok.parse().map_err(|_| err(ln, "bad extra label"))?;
+                    let extra: LabelId = tok.parse().map_err(|_| err(ln, "bad extra label"))?;
                     b.add_extra_label(id, extra);
                 }
             }

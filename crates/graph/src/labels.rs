@@ -107,7 +107,7 @@ impl LabelStats {
     /// Labels sorted by descending frequency; used by the §6.6 workload
     /// generator ("frequent labels" = top 20% of `Σ`).
     pub fn labels_by_frequency(&self) -> Vec<LabelId> {
-        let mut order: Vec<LabelId> = (0..self.freq.len() as LabelId).collect();
+        let mut order: Vec<LabelId> = (0..crate::label_id(self.freq.len())).collect();
         order.sort_by_key(|&l| std::cmp::Reverse(self.freq[l as usize]));
         order
     }

@@ -38,6 +38,17 @@
 //! assert_eq!(subs.len(), 4);
 //! ```
 
+// Test modules opt back out of the library panic/numeric policy: a panic
+// IS the failure report there, and fixtures are tiny.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod augmented;
 pub mod bfs;
 pub mod builder;
@@ -50,7 +61,7 @@ pub mod labels;
 pub use bfs::{bfs_tree, BfsTree};
 pub use builder::GraphBuilder;
 pub use decompose::{decompose, Substructure};
-pub use graph::{EdgeRef, Graph};
+pub use graph::{CsrViolation, EdgeRef, Graph};
 pub use labels::LabelStats;
 
 /// Node identifier within a graph (dense, `0..n`).
@@ -60,6 +71,39 @@ pub type LabelId = u32;
 
 /// Sentinel label meaning "matches **any** label" on a query node/edge (§2).
 pub const WILDCARD: LabelId = u32::MAX;
+
+/// Checked `usize → NodeId` conversion for loop indices and array
+/// positions. Graphs are bounded to `u32` ids by representation choice
+/// (CSR offsets are `u32`); a debug assert catches an index that would
+/// silently wrap, and this is the one place that cast is allowed to live.
+#[inline]
+#[must_use]
+pub fn node_id(i: usize) -> NodeId {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "node index {i} exceeds the u32 id space"
+    );
+    #[allow(clippy::cast_possible_truncation)]
+    // bounded: checked above, and |V| < 2^32 by representation
+    {
+        i as NodeId
+    }
+}
+
+/// Checked `usize → LabelId` conversion; see [`node_id`].
+#[inline]
+#[must_use]
+pub fn label_id(i: usize) -> LabelId {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "label index {i} exceeds the u32 id space"
+    );
+    #[allow(clippy::cast_possible_truncation)]
+    // bounded: checked above, and |Σ| < 2^32 by representation
+    {
+        i as LabelId
+    }
+}
 
 /// Does a query label match a data label?
 ///

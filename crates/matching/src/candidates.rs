@@ -126,7 +126,10 @@ mod tests {
         let d = data();
         let f = CandidateFilter::new(&d);
         // query: node 0 with three wildcard neighbors
-        let q = graph_from_edges(&[0, WILDCARD, WILDCARD, WILDCARD], &[(0, 1), (0, 2), (0, 3)]);
+        let q = graph_from_edges(
+            &[0, WILDCARD, WILDCARD, WILDCARD],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
         // iso: only the center (degree 3) qualifies
         assert_eq!(f.candidates(&q, 0, true), vec![0]);
         // homo: node 4 (degree 1, label 0) also qualifies — its single

@@ -51,13 +51,21 @@ impl<'a, 'c> Search<'a, 'c> {
     }
 
     /// Count all completions with the root pinned to `root`.
-    pub fn count_from_root(&mut self, root: NodeId, budget: &Budget) -> Result<u64, BudgetExceeded> {
+    pub fn count_from_root(
+        &mut self,
+        root: NodeId,
+        budget: &Budget,
+    ) -> Result<u64, BudgetExceeded> {
         self.map[0] = root;
         self.extend(1, budget)
     }
 
     /// Early-terminating existence search with the root pinned to `root`.
-    pub fn find_from_root(&mut self, root: NodeId, budget: &Budget) -> Result<bool, BudgetExceeded> {
+    pub fn find_from_root(
+        &mut self,
+        root: NodeId,
+        budget: &Budget,
+    ) -> Result<bool, BudgetExceeded> {
         self.map[0] = root;
         self.find(1, budget)
     }
@@ -80,10 +88,12 @@ impl<'a, 'c> Search<'a, 'c> {
             let du = self.map[j];
             match ctx.data.edge_label(du, dv) {
                 Some(dl) => {
-                    let ql = ctx
-                        .query
-                        .edge_label(qu, qv)
-                        .expect("backward neighbor implies query edge");
+                    let Some(ql) = ctx.query.edge_label(qu, qv) else {
+                        // A backward neighbor is defined by the presence of
+                        // this query edge; treat its absence as a dead end.
+                        debug_assert!(false, "backward neighbor implies query edge");
+                        return false;
+                    };
                     if !label_matches(ql, dl) {
                         return false;
                     }
@@ -122,16 +132,18 @@ impl<'a, 'c> Search<'a, 'c> {
             return Ok(total);
         }
 
-        // Anchor on the backward image with the smallest adjacency.
-        let &anchor = bw
-            .iter()
-            .min_by_key(|&&j| ctx.data.degree(self.map[j]))
-            .expect("non-empty backward set");
+        // Anchor on the backward image with the smallest adjacency. `bw`
+        // was checked non-empty above, so the fallbacks are dead code kept
+        // only to make the path total.
+        let Some(&anchor) = bw.iter().min_by_key(|&&j| ctx.data.degree(self.map[j])) else {
+            debug_assert!(false, "non-empty backward set");
+            return Ok(0);
+        };
         let au = self.map[anchor];
-        let ql_anchor = ctx
-            .query
-            .edge_label(ctx.mo.order[anchor], qv)
-            .expect("anchor implies query edge");
+        let Some(ql_anchor) = ctx.query.edge_label(ctx.mo.order[anchor], qv) else {
+            debug_assert!(false, "anchor implies query edge");
+            return Ok(0);
+        };
 
         let neighbors = ctx.data.neighbors(au);
         budget.charge(neighbors.len() as u64)?;
@@ -187,15 +199,17 @@ impl<'a, 'c> Search<'a, 'c> {
             return Ok(false);
         }
 
-        let &anchor = bw
-            .iter()
-            .min_by_key(|&&j| ctx.data.degree(self.map[j]))
-            .expect("non-empty backward set");
+        // As in `extend`: `bw` is non-empty here, the fallbacks only make
+        // the path total.
+        let Some(&anchor) = bw.iter().min_by_key(|&&j| ctx.data.degree(self.map[j])) else {
+            debug_assert!(false, "non-empty backward set");
+            return Ok(false);
+        };
         let au = self.map[anchor];
-        let ql_anchor = ctx
-            .query
-            .edge_label(ctx.mo.order[anchor], qv)
-            .expect("anchor implies query edge");
+        let Some(ql_anchor) = ctx.query.edge_label(ctx.mo.order[anchor], qv) else {
+            debug_assert!(false, "anchor implies query edge");
+            return Ok(false);
+        };
         let neighbors = ctx.data.neighbors(au);
         budget.charge(neighbors.len() as u64)?;
         let edge_labels = ctx.data.neighbor_edge_labels(au);

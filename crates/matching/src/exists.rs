@@ -7,7 +7,12 @@ use crate::budget::{Budget, BudgetExceeded};
 use crate::engine::{Context, Search};
 use alss_graph::Graph;
 
-fn exists(data: &Graph, query: &Graph, budget: &Budget, injective: bool) -> Result<bool, BudgetExceeded> {
+fn exists(
+    data: &Graph,
+    query: &Graph,
+    budget: &Budget,
+    injective: bool,
+) -> Result<bool, BudgetExceeded> {
     if query.num_nodes() == 0 {
         return Ok(true);
     }

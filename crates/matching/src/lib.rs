@@ -33,9 +33,20 @@
 //! assert_eq!(count_isomorphisms(&data, &path, &b).unwrap(), 6);   // injective only
 //! ```
 
+// Test modules opt back out of the library panic/numeric policy: a panic
+// IS the failure report there, and fixtures are tiny.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod budget;
-pub(crate) mod engine;
 pub mod candidates;
+pub(crate) mod engine;
 pub mod exists;
 pub mod homomorphism;
 pub mod isomorphism;
@@ -119,7 +130,9 @@ mod semantics_tests {
             Semantics::Homomorphism
                 .count_parallel(&d, &q, &Budget::unlimited())
                 .unwrap(),
-            Semantics::Homomorphism.count(&d, &q, &Budget::unlimited()).unwrap()
+            Semantics::Homomorphism
+                .count(&d, &q, &Budget::unlimited())
+                .unwrap()
         );
     }
 

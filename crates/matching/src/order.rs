@@ -33,9 +33,11 @@ pub fn matching_order(q: &Graph, filter: &CandidateFilter<'_>, injective: bool) 
 
     let mut placed = vec![false; n];
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    // `n > 0` is asserted above, so the min exists; the fallback keeps the
+    // expression total.
     let start = (0..n)
         .min_by_key(|&v| (counts[v], v))
-        .expect("non-empty query") as NodeId;
+        .map_or(0, alss_graph::node_id);
     order.push(start);
     placed[start as usize] = true;
 
@@ -56,7 +58,11 @@ pub fn matching_order(q: &Graph, filter: &CandidateFilter<'_>, injective: bool) 
                 best = Some(key);
             }
         }
-        let (_, _, v) = best.expect("some node remains");
+        let Some((_, _, v)) = best else {
+            // Unreachable while `order.len() < n`: some node is unplaced.
+            debug_assert!(false, "some node remains");
+            break;
+        };
         order.push(v);
         placed[v as usize] = true;
     }

@@ -88,8 +88,11 @@ impl Adam {
         self.t += 1;
         let b1 = self.cfg.beta1;
         let b2 = self.cfg.beta2;
-        let bc1 = 1.0 - b1.powi(self.t as i32);
-        let bc2 = 1.0 - b2.powi(self.t as i32);
+        // Saturating keeps the bias correction total; by i32::MAX steps the
+        // correction factor is exactly 1 anyway.
+        let t = i32::try_from(self.t).unwrap_or(i32::MAX);
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
         for (idx, id) in store.ids().collect::<Vec<_>>().into_iter().enumerate() {
             // L2 penalty folded into the gradient.
             let wd = self.cfg.weight_decay;

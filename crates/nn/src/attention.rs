@@ -60,7 +60,7 @@ impl SelfAttention {
         let z = tape.matmul(w1, ht); // da × n
         let z = tape.tanh(z);
         let scores = tape.matmul(w2, z); // r × n
-        // softmax over the n substructures: rows of `scores`
+                                         // softmax over the n substructures: rows of `scores`
         let a = tape.softmax_rows(scores); // r × n
         let e = tape.matmul(a, h_q); // r × d
         let eq = tape.flatten(e); // 1 × r·d

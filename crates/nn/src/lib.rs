@@ -46,6 +46,17 @@
 //! assert!((tape.value(y).scalar() - 1.5).abs() < 0.2);
 //! ```
 
+// Test modules opt back out of the library panic/numeric policy: a panic
+// IS the failure report there, and fixtures are tiny.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod adam;
 pub mod attention;
 pub mod gin;

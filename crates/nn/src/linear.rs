@@ -122,13 +122,7 @@ impl Mlp {
     }
 
     /// Forward pass; dropout is active only on training tapes.
-    pub fn forward<R: Rng>(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        rng: &mut R,
-    ) -> Var {
+    pub fn forward<R: Rng>(&self, tape: &mut Tape, store: &ParamStore, x: Var, rng: &mut R) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -143,12 +137,14 @@ impl Mlp {
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty MLP").out_dim()
+        // Constructors reject zero-layer MLPs; 0 keeps this total.
+        self.layers.last().map_or(0, |l| l.out_dim())
     }
 
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("non-empty MLP").in_dim()
+        // Constructors reject zero-layer MLPs; 0 keeps this total.
+        self.layers.first().map_or(0, |l| l.in_dim())
     }
 }
 

@@ -50,7 +50,10 @@ pub fn multi_task_loss(tape: &mut Tape, reg: Var, cla: Var, lambda: f32) -> Var 
 /// Magnitude bucket of a true count: `clamp(⌊log10 max(c,1)⌋, 0, m−1)`.
 pub fn magnitude_class(count: f64, num_classes: usize) -> usize {
     let c = count.max(1.0);
-    (c.log10().floor() as i64).clamp(0, num_classes as i64 - 1) as usize
+    // log10 of a finite f64 ≥ 1 lies in [0, 309); the cast cannot truncate.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let magnitude = c.log10().floor().clamp(0.0, 308.0) as usize;
+    magnitude.min(num_classes.saturating_sub(1))
 }
 
 #[cfg(test)]

@@ -116,7 +116,8 @@ impl Mat {
     /// Matrix product `self @ rhs` (ikj loop order for cache locality).
     pub fn matmul(&self, rhs: &Mat) -> Mat {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             rhs.shape()
@@ -187,6 +188,20 @@ impl Mat {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// `true` if every element is finite (no NaN, no ±Inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// First non-finite element as `(row, col, value)`, if any. Used by the
+    /// tape's debug guards to report *where* a NaN/Inf was born.
+    pub fn first_non_finite(&self) -> Option<(usize, usize, f32)> {
+        self.data
+            .iter()
+            .position(|x| !x.is_finite())
+            .map(|i| (i / self.cols, i % self.cols, self.data[i]))
     }
 
     /// The single element of a `1 × 1` matrix.

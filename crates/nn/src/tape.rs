@@ -55,6 +55,34 @@ struct Node {
     op: Op,
 }
 
+/// Human-readable op name for the finiteness guards' messages.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "input",
+        Op::Param(_) => "param",
+        Op::MatMul(..) => "matmul",
+        Op::Add(..) => "add",
+        Op::AddRow(..) => "add_row",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Scale(..) => "scale",
+        Op::Relu(_) => "relu",
+        Op::Tanh(_) => "tanh",
+        Op::SoftmaxRows(_) => "softmax_rows",
+        Op::LogSoftmaxRows(_) => "log_softmax_rows",
+        Op::Dropout(..) => "dropout",
+        Op::SumAll(_) => "sum_all",
+        Op::MeanAll(_) => "mean_all",
+        Op::SumRows(_) => "sum_rows",
+        Op::ConcatRows(_) => "concat_rows",
+        Op::ConcatCols(..) => "concat_cols",
+        Op::Transpose(_) => "transpose",
+        Op::SliceCols(..) => "slice_cols",
+        Op::GraphAgg(..) => "graph_agg",
+        Op::Flatten(_) => "flatten",
+    }
+}
+
 /// A gradient tape. Create one per forward pass.
 pub struct Tape {
     nodes: Vec<Node>,
@@ -78,6 +106,15 @@ impl Tape {
     }
 
     fn push(&mut self, value: Mat, op: Op) -> Var {
+        // Debug guard: a NaN/Inf born in one op propagates silently through
+        // the rest of the pass and surfaces as a garbage count estimate
+        // much later; catch it at the op that produced it.
+        debug_assert!(
+            value.all_finite(),
+            "non-finite value in forward {}: {:?}",
+            op_name(&op),
+            value.first_non_finite()
+        );
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -154,7 +191,11 @@ impl Tape {
         let v = Mat::from_vec(
             x.rows(),
             x.cols(),
-            x.data().iter().zip(y.data()).map(|(&p, &q)| p * q).collect(),
+            x.data()
+                .iter()
+                .zip(y.data())
+                .map(|(&p, &q)| p * q)
+                .collect(),
         );
         self.push(v, Op::Mul(a, b))
     }
@@ -203,12 +244,7 @@ impl Tape {
         for i in 0..v.rows() {
             let row = v.row_mut(i);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = max
-                + row
-                    .iter()
-                    .map(|&e| (e - max).exp())
-                    .sum::<f32>()
-                    .ln();
+            let lse = max + row.iter().map(|&e| (e - max).exp()).sum::<f32>().ln();
             for e in row.iter_mut() {
                 *e -= lse;
             }
@@ -317,6 +353,13 @@ impl Tape {
     }
 
     fn add_grad(&mut self, v: Var, g: Mat) {
+        debug_assert!(
+            g.all_finite(),
+            "non-finite gradient flowing into {} node {}: {:?}",
+            op_name(&self.nodes[v.0].op),
+            v.0,
+            g.first_non_finite()
+        );
         match &mut self.grads[v.0] {
             Some(acc) => acc.add_assign(&g),
             slot @ None => *slot = Some(g),
@@ -344,6 +387,11 @@ impl Tape {
                 Op::Leaf => {}
                 Op::Param(id) => {
                     let id = *id;
+                    debug_assert!(
+                        g.all_finite(),
+                        "non-finite parameter gradient for {id:?}: {:?}",
+                        g.first_non_finite()
+                    );
                     store.accumulate_grad(id, &g);
                 }
                 Op::MatMul(a, b) => {
@@ -625,6 +673,35 @@ mod tests {
             // equals mask here since inputs are 1.0
             assert_eq!(gv, fv);
         }
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "finiteness guards are debug-only")]
+    #[should_panic(expected = "non-finite value in forward input")]
+    fn nan_input_is_caught_at_entry() {
+        let mut t = Tape::new(false);
+        t.input(Mat::row_vector(&[1.0, f32::NAN]));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "finiteness guards are debug-only")]
+    #[should_panic(expected = "non-finite value in forward")]
+    fn overflow_is_caught_at_the_op_that_produced_it() {
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::row_vector(&[f32::MAX]));
+        let y = t.scale(x, 2.0); // f32::MAX * 2 → +Inf
+        let _ = t.mul(y, y);
+    }
+
+    #[test]
+    fn finite_pass_trips_no_guard() {
+        let mut t = Tape::new(false);
+        let x = t.input(Mat::row_vector(&[1e30, -1e30]));
+        let y = t.tanh(x);
+        let loss = t.mean_all(y);
+        let mut store = ParamStore::new();
+        t.backward(loss, &mut store);
+        assert!(t.grad(x).all_finite());
     }
 
     #[test]

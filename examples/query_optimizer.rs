@@ -7,10 +7,10 @@
 
 use alss::core::workload::{LabeledQuery, Workload};
 use alss::core::{LearnedSketch, SketchConfig};
-use alss::datasets::queries::{assign_pattern_labels, unlabeled_patterns};
 use alss::datasets::by_name;
-use alss::ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
+use alss::datasets::queries::{assign_pattern_labels, unlabeled_patterns};
 use alss::ghd::enumerate_ghds;
+use alss::ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
 use alss::graph::labels::LabelStats;
 use alss::matching::{count_homomorphisms, Budget};
 use rand::rngs::SmallRng;
@@ -22,7 +22,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(5);
 
     // train the sketch on small random-labeled patterns
-    let num_labels = data.num_node_labels() as u32;
+    let num_labels = alss::graph::label_id(data.num_node_labels());
     let mut train = Vec::new();
     for size in [3usize, 4] {
         for p in unlabeled_patterns(&data, size, 60, 11 + size as u64) {

@@ -56,7 +56,7 @@ fn main() {
         sketch.model().num_weights(),
         report.duration.as_secs_f64(),
         report.epoch_losses.len(),
-        report.epoch_losses.last().unwrap()
+        report.epoch_losses.last().copied().unwrap_or(f64::NAN)
     );
 
     // 4. Evaluate on held-out queries and compare with Wander Join.

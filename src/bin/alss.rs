@@ -95,8 +95,9 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let scale: f64 = args.parsed("scale", 0.2)?;
     let seed: u64 = args.parsed("seed", 0)?;
     let out = args.require("out")?;
-    let g = by_name(dataset, scale, seed)
-        .ok_or_else(|| format!("unknown dataset '{dataset}' (aids/yeast/youtube/wordnet/eu2005/yago)"))?;
+    let g = by_name(dataset, scale, seed).ok_or_else(|| {
+        format!("unknown dataset '{dataset}' (aids/yeast/youtube/wordnet/eu2005/yago)")
+    })?;
     std::fs::write(out, to_text(&g)).map_err(|e| format!("write {out}: {e}"))?;
     println!(
         "wrote {out}: {} nodes, {} edges, {} labels",

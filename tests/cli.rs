@@ -1,6 +1,13 @@
 //! End-to-end smoke test of the `alss` CLI binary: generate → workload →
 //! train → estimate/count/evaluate/stats/decompose over temp files.
 
+// Test code opts back out of the library panic policy: a panic IS the
+// failure report here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::cast_possible_truncation,
+    clippy::float_cmp
+)]
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -25,67 +32,119 @@ fn full_cli_pipeline() {
     // generate
     let out = alss()
         .args([
-            "generate", "--dataset", "yeast", "--scale", "0.08", "--seed", "1",
-            "--out", graph.to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "yeast",
+            "--scale",
+            "0.08",
+            "--seed",
+            "1",
+            "--out",
+            graph.to_str().unwrap(),
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // workload
     let out = alss()
         .args([
-            "workload", "--graph", graph.to_str().unwrap(), "--sizes", "3,4",
-            "--per-size", "10", "--budget", "2000000",
-            "--out", workload.to_str().unwrap(),
+            "workload",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--sizes",
+            "3,4",
+            "--per-size",
+            "10",
+            "--budget",
+            "2000000",
+            "--out",
+            workload.to_str().unwrap(),
         ])
         .output()
         .expect("run workload");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // train
     let out = alss()
         .args([
-            "train", "--graph", graph.to_str().unwrap(),
-            "--workload", workload.to_str().unwrap(),
-            "--epochs", "10", "--hidden", "16", "--prone-dim", "8",
-            "--out", sketch.to_str().unwrap(),
+            "train",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--workload",
+            workload.to_str().unwrap(),
+            "--epochs",
+            "10",
+            "--hidden",
+            "16",
+            "--prone-dim",
+            "8",
+            "--out",
+            sketch.to_str().unwrap(),
         ])
         .output()
         .expect("run train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(sketch.exists());
 
     // estimate on a handwritten query
     std::fs::write(&query, "t 2 1\nv 0 0\nv 1 -1\ne 0 1\n").expect("write query");
     let out = alss()
         .args([
-            "estimate", "--sketch", sketch.to_str().unwrap(),
-            "--query", query.to_str().unwrap(),
+            "estimate",
+            "--sketch",
+            sketch.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
         ])
         .output()
         .expect("run estimate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("estimate:"), "missing estimate in: {text}");
 
     // exact count
     let out = alss()
         .args([
-            "count", "--graph", graph.to_str().unwrap(),
-            "--query", query.to_str().unwrap(),
+            "count",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
         ])
         .output()
         .expect("run count");
     assert!(out.status.success());
-    let count: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().expect("count number");
+    let count: u64 = String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("count number");
     let _ = count;
 
     // evaluate
     let out = alss()
         .args([
-            "evaluate", "--sketch", sketch.to_str().unwrap(),
-            "--workload", workload.to_str().unwrap(),
+            "evaluate",
+            "--sketch",
+            sketch.to_str().unwrap(),
+            "--workload",
+            workload.to_str().unwrap(),
         ])
         .output()
         .expect("run evaluate");
@@ -101,7 +160,13 @@ fn full_cli_pipeline() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("label entropy"));
 
     let out = alss()
-        .args(["decompose", "--query", query.to_str().unwrap(), "--hops", "2"])
+        .args([
+            "decompose",
+            "--query",
+            query.to_str().unwrap(),
+            "--hops",
+            "2",
+        ])
         .output()
         .expect("run decompose");
     assert!(out.status.success());
@@ -117,7 +182,10 @@ fn cli_reports_errors_cleanly() {
     assert!(!out.status.success());
 
     // missing required flag
-    let out = alss().args(["generate", "--dataset", "yeast"]).output().expect("run");
+    let out = alss()
+        .args(["generate", "--dataset", "yeast"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 
@@ -125,8 +193,11 @@ fn cli_reports_errors_cleanly() {
     let dir = tmpdir();
     let out = alss()
         .args([
-            "generate", "--dataset", "imdb",
-            "--out", dir.join("x.txt").to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "imdb",
+            "--out",
+            dir.join("x.txt").to_str().unwrap(),
         ])
         .output()
         .expect("run");

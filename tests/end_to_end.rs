@@ -2,6 +2,13 @@
 //! sketch training → estimation → active learning, across every workspace
 //! crate.
 
+// Test code opts back out of the library panic policy: a panic IS the
+// failure report here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::cast_possible_truncation,
+    clippy::float_cmp
+)]
 use alss::core::train::encode_workload;
 use alss::core::{
     active_round, LearnedSketch, PoolItem, QErrorStats, SketchConfig, Strategy, TrainConfig,
@@ -30,7 +37,11 @@ fn pipeline_workload() -> (alss::graph::Graph, alss::core::Workload) {
 #[test]
 fn train_estimate_pipeline_beats_untrained_model() {
     let (data, workload) = pipeline_workload();
-    assert!(workload.len() >= 20, "workload too small: {}", workload.len());
+    assert!(
+        workload.len() >= 20,
+        "workload too small: {}",
+        workload.len()
+    );
     let mut rng = SmallRng::seed_from_u64(0);
     let (train, test) = workload.stratified_split(0.8, &mut rng);
 

@@ -2,10 +2,17 @@
 //! crates: decomposition validity, plan costing, and the oracle property
 //! that a perfect cost estimator picks the true-cheapest plan.
 
+// Test code opts back out of the library panic policy: a panic IS the
+// failure report here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::cast_possible_truncation,
+    clippy::float_cmp
+)]
 use alss::datasets::by_name;
 use alss::datasets::queries::{assign_pattern_labels, unlabeled_patterns};
-use alss::ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
 use alss::ghd::enumerate_ghds;
+use alss::ghd::plan::{agm_cost, choose_plan, true_cost, RelationIndex};
 use alss::graph::labels::LabelStats;
 use alss::matching::{count_homomorphisms, Budget};
 use rand::rngs::SmallRng;

@@ -2,8 +2,15 @@
 //! entity): matching semantics, statistics, encoding, and end-to-end
 //! training over a multi-label knowledge-graph analogue.
 
-use alss::core::{Encoder, LearnedSketch, SketchConfig, TrainConfig, Workload};
+// Test code opts back out of the library panic policy: a panic IS the
+// failure report here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::cast_possible_truncation,
+    clippy::float_cmp
+)]
 use alss::core::workload::LabeledQuery;
+use alss::core::{Encoder, LearnedSketch, SketchConfig, TrainConfig, Workload};
 use alss::datasets::by_name;
 use alss::graph::augmented::label_augmented_graph;
 use alss::graph::builder::graph_from_edges;
@@ -16,7 +23,10 @@ use alss::matching::{count_homomorphisms, count_isomorphisms, Budget};
 /// carries {2, 0}.
 fn multilabel_data() -> Graph {
     let mut b = GraphBuilder::new(4);
-    b.set_label(0, 0).set_label(1, 0).set_label(2, 1).set_label(3, 2);
+    b.set_label(0, 0)
+        .set_label(1, 0)
+        .set_label(2, 1)
+        .set_label(3, 2);
     b.add_extra_label(1, 1);
     b.add_extra_label(3, 0);
     b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
@@ -135,13 +145,17 @@ fn substructures_preserve_extra_labels() {
 #[test]
 fn yago_analogue_is_multilabeled_and_trainable() {
     let data = by_name("yago", 0.01, 0).expect("yago analogue");
-    assert!(data.is_multi_labeled(), "yago analogue should be multi-label");
+    assert!(
+        data.is_multi_labeled(),
+        "yago analogue should be multi-label"
+    );
     assert!(data.has_edge_labels());
     // build a tiny labeled workload from single-edge queries
     let mut queries = Vec::new();
     for e in data.edges().take(12) {
         let mut b = GraphBuilder::new(2);
-        b.set_label(0, data.label(e.u)).set_label(1, data.label(e.v));
+        b.set_label(0, data.label(e.u))
+            .set_label(1, data.label(e.v));
         b.add_edge(0, 1);
         let q = b.build();
         let c = count_homomorphisms(&data, &q, &Budget::new(5_000_000)).unwrap_or(1);
@@ -153,7 +167,8 @@ fn yago_analogue_is_multilabeled_and_trainable() {
     let (sketch, _) = LearnedSketch::train(&data, &Workload::from_queries(queries), &cfg);
     let probe = {
         let mut b = GraphBuilder::new(2);
-        b.set_label(0, data.label(0)).set_label(1, alss::graph::WILDCARD);
+        b.set_label(0, data.label(0))
+            .set_label(1, alss::graph::WILDCARD);
         b.add_edge(0, 1);
         b.build()
     };

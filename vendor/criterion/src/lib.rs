@@ -72,13 +72,13 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure under this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Into<BenchmarkId>,
-        mut f: F,
-    ) {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.0), self.measurement_time, &mut f);
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.measurement_time,
+            &mut f,
+        );
     }
 
     /// Benchmark a closure parameterized by `input`.
@@ -89,7 +89,11 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let mut g = |b: &mut Bencher| f(b, input);
-        run_one(&format!("{}/{}", self.name, id.0), self.measurement_time, &mut g);
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.measurement_time,
+            &mut g,
+        );
     }
 
     /// End the group.

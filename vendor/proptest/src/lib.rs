@@ -28,8 +28,7 @@ pub mod bool {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -148,7 +147,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter `{}`: predicate rejected 1000 draws", self.whence);
+        panic!(
+            "prop_filter `{}`: predicate rejected 1000 draws",
+            self.whence
+        );
     }
 }
 
@@ -311,6 +313,7 @@ macro_rules! proptest {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
                     // The closure lets property bodies early-return
                     // `Ok(())`/`Err(..)` like real proptest.
+                    #[allow(clippy::redundant_closure_call)]
                     let __result: ::std::result::Result<(), $crate::TestCaseError> =
                         (|| {
                             $body

@@ -12,6 +12,16 @@
 //! Determinism is the only contract: the same seed always yields the same
 //! stream. The streams do **not** match upstream `rand`'s.
 
+// PRNG plumbing is wall-to-wall intentional width juggling (widening
+// multiplies, wrapping mixes, lane extraction); the workspace's count-cast
+// hygiene lints target application code, not this vendored stand-in.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_wrap
+)]
+
 pub mod rngs;
 pub mod seq;
 

@@ -22,9 +22,7 @@ pub struct ParIter<I> {
 impl<I: Iterator> ParIter<I> {
     /// Transform each item.
     pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter {
-            it: self.it.map(f),
-        }
+        ParIter { it: self.it.map(f) }
     }
 
     /// Keep items satisfying the predicate.
@@ -160,14 +158,17 @@ mod tests {
 
     #[test]
     fn par_iter_map_collect() {
-        let v = vec![1u32, 2, 3];
+        let v = [1u32, 2, 3];
         let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
     }
 
     #[test]
     fn into_par_iter_filter_map() {
-        let v: Vec<u32> = (0u32..10).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        let v: Vec<u32> = (0u32..10)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8]);
     }
 

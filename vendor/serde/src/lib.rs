@@ -31,7 +31,9 @@ impl Error {
 
     /// Standard "missing field" error.
     pub fn missing_field(ty: &str, field: &str) -> Self {
-        Error(format!("missing field `{field}` while deserializing `{ty}`"))
+        Error(format!(
+            "missing field `{field}` while deserializing `{ty}`"
+        ))
     }
 
     /// Standard "type mismatch" error.
@@ -130,6 +132,9 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn deserialize(v: &Value) -> Result<Self, Error> {
+        // Precision narrowing is inherent to deserializing into f32; the
+        // JSON data model stores all floats as f64.
+        #[allow(clippy::cast_possible_truncation)]
         Ok(f64::deserialize(v)? as f32)
     }
 }
@@ -324,11 +329,10 @@ where
     V: Deserialize,
 {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        let items = v.as_array().ok_or_else(|| Error::expected("array of pairs", v))?;
-        items
-            .iter()
-            .map(|pair| <(K, V)>::deserialize(pair))
-            .collect()
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array of pairs", v))?;
+        items.iter().map(<(K, V)>::deserialize).collect()
     }
 }
 
@@ -348,11 +352,10 @@ where
     V: Deserialize,
 {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        let items = v.as_array().ok_or_else(|| Error::expected("array of pairs", v))?;
-        items
-            .iter()
-            .map(|pair| <(K, V)>::deserialize(pair))
-            .collect()
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array of pairs", v))?;
+        items.iter().map(<(K, V)>::deserialize).collect()
     }
 }
 

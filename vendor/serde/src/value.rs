@@ -23,6 +23,18 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl crate::Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, crate::Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Value {
     /// Human-readable kind name for error messages.
     pub fn kind(&self) -> &'static str {
@@ -85,6 +97,8 @@ impl Value {
             Value::UInt(n) => Some(*n),
             Value::Int(n) => u64::try_from(*n).ok(),
             Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                // Guarded above: integral, non-negative, in range.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 Some(*x as u64)
             }
             _ => None,
@@ -96,8 +110,11 @@ impl Value {
         match self {
             Value::Int(n) => Some(*n),
             Value::UInt(n) => i64::try_from(*n).ok(),
-            Value::Float(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 =>
+            Value::Float(x)
+                if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 =>
             {
+                // Guarded above: integral and in range.
+                #[allow(clippy::cast_possible_truncation)]
                 Some(*x as i64)
             }
             _ => None,

@@ -145,9 +145,7 @@ fn parse(input: TokenStream) -> Input {
 fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
     let toks: Vec<TokenTree> = group.stream().into_iter().collect();
     match (toks.first(), toks.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
-            if id.to_string() == "serde" =>
-        {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
             args.stream()
                 .into_iter()
                 .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
