@@ -19,18 +19,22 @@ pub enum Rule {
     TruncatingCountCast,
     /// `unsafe` without an explanatory `// SAFETY:` comment.
     UnsafeWithoutComment,
+    /// `println!` / `eprintln!` in library code — report through
+    /// `alss-telemetry` (`progress`, spans, events) instead.
+    NoPrintln,
     /// A waiver comment that names no rule or carries no reason.
     MalformedWaiver,
 }
 
 /// All rules, for iteration and name lookup.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::NoUnwrap,
     Rule::NoExpect,
     Rule::NoPanic,
     Rule::NoTodo,
     Rule::TruncatingCountCast,
     Rule::UnsafeWithoutComment,
+    Rule::NoPrintln,
     Rule::MalformedWaiver,
 ];
 
@@ -44,6 +48,7 @@ impl Rule {
             Rule::NoTodo => "no-todo",
             Rule::TruncatingCountCast => "truncating-count-cast",
             Rule::UnsafeWithoutComment => "unsafe-without-comment",
+            Rule::NoPrintln => "no-println",
             Rule::MalformedWaiver => "malformed-waiver",
         }
     }

@@ -82,6 +82,9 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     &raw_lines,
                 ));
             }
+            if let Some(msg) = check_println(code) {
+                findings.push(finding(rel_path, lineno, Rule::NoPrintln, msg, &raw_lines));
+            }
         }
         if let Some(msg) = check_todo(code) {
             findings.push(finding(rel_path, lineno, Rule::NoTodo, msg, &raw_lines));
@@ -260,6 +263,21 @@ fn check_panic(code: &str) -> Option<String> {
         "`panic!` in library code; return a `Result` or make the invariant an `assert!`"
             .to_string(),
     )
+}
+
+/// Raw `println!` / `eprintln!` in library code. Binaries, tests, and
+/// benches are exempt (stdout IS their interface); library code routes
+/// human-facing output through `alss_telemetry::progress` and structured
+/// data through spans/events, so it stays capturable and filterable.
+fn check_println(code: &str) -> Option<String> {
+    for m in ["println!", "eprintln!"] {
+        if word_at(code, m).is_some() {
+            return Some(format!(
+                "`{m}` in library code; use `alss_telemetry::progress` (or a span/event) instead"
+            ));
+        }
+    }
+    None
 }
 
 /// `todo!` / `unimplemented!` anywhere.

@@ -140,6 +140,36 @@ let d = idx as usize;
 }
 
 #[test]
+fn println_flagged_in_lib_but_not_bins_or_tests() {
+    let f = rules_at(LIB, "println!(\"progress: {i}\");\n");
+    assert_eq!(f, vec![(Rule::NoPrintln, 1, false)]);
+    let f = rules_at(LIB, "eprintln!(\"warn\");\n");
+    assert_eq!(f, vec![(Rule::NoPrintln, 1, false)]);
+    let src = "println!(\"table row\");\n";
+    assert!(rules_at("crates/x/src/bin/tool.rs", src).is_empty());
+    assert!(rules_at("crates/x/src/main.rs", src).is_empty());
+    assert!(rules_at("crates/x/tests/it.rs", src).is_empty());
+    // In-test printing inside lib files is fine too.
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+    assert!(rules_at(LIB, in_test).is_empty());
+}
+
+#[test]
+fn println_in_string_comment_or_ident_is_ignored() {
+    // Strings and comments are lexed away; `writeln!` and identifiers
+    // containing the word are not matches.
+    let ok = "let s = \"println!(no)\"; // println! in a comment\nwriteln!(f, \"x\")?;\n";
+    assert!(rules_at(LIB, ok).is_empty());
+}
+
+#[test]
+fn println_waiver_silences() {
+    let src =
+        "eprintln!(\"fallback\"); // analyzer: allow(no-println) - stderr escape hatch by design\n";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoPrintln, 1, true)]);
+}
+
+#[test]
 fn unsafe_requires_safety_comment() {
     let f = rules_at(LIB, "unsafe { ptr.read() }\n");
     assert_eq!(f, vec![(Rule::UnsafeWithoutComment, 1, false)]);

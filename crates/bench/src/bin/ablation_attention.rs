@@ -13,6 +13,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("ablation_attention");
     let mut t = TableWriter::new(&["dataset", "aggregator", "q-error distribution"]);
     for name in ["aids", "yeast"] {
         let sc = load_scenario(name, Semantics::Homomorphism);

@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("ablation_hops");
     let sc = load_scenario("aids", Semantics::Homomorphism);
     let mut rng = SmallRng::seed_from_u64(0xAB1);
     let (train, test) = sc.workload.stratified_split(0.8, &mut rng);

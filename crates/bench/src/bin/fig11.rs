@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig11");
     let sc = load_scenario("aids", Semantics::Homomorphism);
     let sizes = sc.workload.sizes();
     assert!(sizes.len() >= 2, "need multiple query sizes");

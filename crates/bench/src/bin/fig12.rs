@@ -22,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig12");
     for name in selected_datasets(&["yeast", "wordnet", "eu2005"]) {
         let sc = load_scenario(&name, Semantics::Homomorphism);
         let stats = LabelStats::new(&sc.data);
@@ -72,7 +73,10 @@ fn main() {
         }
         let train = Workload::from_queries(train_queries);
         if train.len() < 20 {
-            println!("== Fig 12 [{name}]: too few labeled training patterns, skipped ==");
+            alss_telemetry::progress(
+                "fig12",
+                &format!("{name}: too few labeled training patterns, skipped"),
+            );
             continue;
         }
         let cfg = SketchConfig {

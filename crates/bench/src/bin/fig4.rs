@@ -15,12 +15,16 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig4");
     for name in selected_datasets(&["aids", "yeast", "wordnet", "eu2005", "yago"]) {
         let sc = load_scenario(&name, Semantics::Homomorphism);
         if sc.workload.len() < 10 {
-            println!(
-                "== Fig 4 [{name}]: workload too small ({}), skipped ==",
-                sc.workload.len()
+            alss_telemetry::progress(
+                "fig4",
+                &format!(
+                    "{name}: workload too small ({}), skipped",
+                    sc.workload.len()
+                ),
             );
             continue;
         }
@@ -34,9 +38,11 @@ fn main() {
 
         let mut methods: Vec<MethodResult> = Vec::new();
         for enc in encodings_for(&name) {
+            alss_telemetry::progress("fig4", &format!("{name}: training {enc}"));
             let eval = train_and_eval_lss(&sc, &train, &test, enc, 0x515);
             methods.push(eval.result);
         }
+        alss_telemetry::progress("fig4", &format!("{name}: running baselines"));
         methods.extend(run_homomorphism_baselines(&sc, &test));
 
         let mut t = TableWriter::new(&["size", "method", "q-error distribution"]);

@@ -9,11 +9,12 @@ use alss_bench::TableWriter;
 use alss_matching::Semantics;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig5");
     println!("== Fig 5: % sampling failure of CS / WJ / JSUB ==");
     for name in selected_datasets(&["aids", "wordnet", "yeast", "eu2005"]) {
         let sc = load_scenario(&name, Semantics::Homomorphism);
         if sc.workload.is_empty() {
-            println!("\n[{name}] workload empty, skipped");
+            alss_telemetry::progress("fig5", &format!("{name}: workload empty, skipped"));
             continue;
         }
         let methods = run_homomorphism_baselines(&sc, &sc.workload);

@@ -15,10 +15,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig8");
     for name in selected_datasets(&["aids", "yeast", "wordnet", "eu2005", "yago"]) {
         let sc = load_scenario(&name, Semantics::Homomorphism);
         if sc.workload.len() < 10 {
-            println!("== Fig 8 [{name}]: workload too small, skipped ==");
+            alss_telemetry::progress("fig8", &format!("{name}: workload too small, skipped"));
             continue;
         }
         let mut rng = SmallRng::seed_from_u64(8);

@@ -14,10 +14,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("fig9");
     for name in selected_datasets(&["youtube", "eu2005"]) {
         let sc = load_scenario(&name, Semantics::Isomorphism);
         if sc.workload.len() < 10 {
-            println!("== Fig 9 [{name}]: workload too small, skipped ==");
+            alss_telemetry::progress("fig9", &format!("{name}: workload too small, skipped"));
             continue;
         }
         let mut rng = SmallRng::seed_from_u64(9);

@@ -8,6 +8,7 @@ use alss_bench::{load_dataset, TableWriter};
 use alss_graph::labels::LabelStats;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("table2");
     println!("== Table 2: Real Data Graphs (synthetic analogues) ==\n");
     let mut t = TableWriter::new(&[
         "Dataset",

@@ -9,6 +9,7 @@ use alss_graph::labels::label_coverage;
 use alss_matching::Semantics;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("table3");
     println!("== Table 3: Query Sets ==\n");
     let mut t = TableWriter::new(&[
         "Type",

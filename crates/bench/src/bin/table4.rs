@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _telemetry = alss_bench::init_telemetry("table4");
     println!("== Table 4: training time (s) ==\n");
     let mut t = TableWriter::new(&["Dataset", "LSS-fre", "LSS-emb", "LSS-con", "Embedding"]);
     for name in selected_datasets(&["aids", "yeast", "wordnet", "eu2005"]) {

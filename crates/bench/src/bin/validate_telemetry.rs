@@ -1,0 +1,89 @@
+//! CI validator for a `--telemetry` JSON-lines capture.
+//!
+//! Run: `cargo run -p alss-bench --bin validate_telemetry -- out.jsonl`
+//!
+//! Checks that every line parses as a JSON object with a known `type` tag,
+//! that spans for the instrumented subsystems (query decomposition, model
+//! forward pass, matching engine) were recorded, and that the capture ends
+//! with a metrics snapshot carrying non-zero counters. Exits non-zero (by
+//! panicking) on any violation, printing the offending line.
+
+use serde_json::Value;
+
+fn main() {
+    let _telemetry = alss_bench::init_telemetry("validate_telemetry");
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "telemetry.jsonl".to_string());
+    // analyzer: allow(no-expect) - CI validator: a missing capture file is the failure being detected
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+
+    let mut spans: Vec<String> = Vec::new();
+    let mut last: Option<Value> = None;
+    let mut n_lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", i + 1));
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("line {}: missing \"type\" tag: {line}", i + 1));
+        match ty {
+            "span" => {
+                let path = v
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .unwrap_or_else(|| panic!("line {}: span without path: {line}", i + 1));
+                assert!(
+                    v.get("us")
+                        .and_then(Value::as_f64)
+                        .is_some_and(|us| us >= 0.0),
+                    "line {}: span without non-negative \"us\": {line}",
+                    i + 1
+                );
+                spans.push(path.to_string());
+            }
+            "event" | "progress" | "snapshot" => {}
+            other => panic!("line {}: unknown type {other:?}: {line}", i + 1),
+        }
+        n_lines += 1;
+        last = Some(v);
+    }
+    assert!(n_lines > 0, "{path}: empty capture");
+
+    for required in ["decompose", "model.forward", "matching."] {
+        assert!(
+            spans.iter().any(|p| p.contains(required)),
+            "{path}: no span matching {required:?} among {} spans",
+            spans.len()
+        );
+    }
+
+    let last = last.unwrap_or_else(|| unreachable!("n_lines > 0"));
+    assert_eq!(
+        last.get("type").and_then(Value::as_str),
+        Some("snapshot"),
+        "{path}: capture must end with a metrics snapshot"
+    );
+    let counters = last
+        .get("counters")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| panic!("{path}: snapshot without counters object"));
+    let nonzero = counters
+        .iter()
+        .filter(|(_, v)| v.as_u64().unwrap_or(0) > 0)
+        .count();
+    assert!(
+        nonzero > 0,
+        "{path}: snapshot has no non-zero counters ({} total)",
+        counters.len()
+    );
+
+    println!(
+        "{path}: OK — {n_lines} lines, {} spans, {nonzero} non-zero counters",
+        spans.len()
+    );
+}

@@ -12,9 +12,9 @@ use alss_estimators::{
     LabelIndex, SumRdf, WanderJoin,
 };
 use alss_matching::{Budget, Semantics};
+use alss_telemetry::Stopwatch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// One method's result on one test query.
 #[derive(Clone, Debug)]
@@ -89,14 +89,17 @@ fn run_estimator(
         .iter()
         .filter(|q| size_limit.is_none_or(|(lo, hi)| (lo..=hi).contains(&q.size())))
         .map(|q| {
-            let start = Instant::now();
+            let watch = Stopwatch::start();
             let e = est.estimate(&q.graph, &mut rng);
+            if e.failed {
+                alss_telemetry::counter("estimator.failures").inc();
+            }
             QueryResult {
                 size: q.size(),
                 truth: q.count as f64,
                 est: e.count,
                 failed: e.failed,
-                micros: start.elapsed().as_secs_f64() * 1e6,
+                micros: watch.record("estimator.query_us"),
             }
         })
         .collect();
@@ -163,7 +166,7 @@ pub fn run_exact(sc: &Scenario, test: &Workload, budget_per_query: u64) -> Metho
         .queries
         .iter()
         .map(|q| {
-            let start = Instant::now();
+            let watch = Stopwatch::start();
             let b = Budget::new(budget_per_query);
             let c = sc.semantics.count(&sc.data, &q.graph, &b).unwrap_or(0);
             QueryResult {
@@ -171,7 +174,7 @@ pub fn run_exact(sc: &Scenario, test: &Workload, budget_per_query: u64) -> Metho
                 truth: q.count as f64,
                 est: c as f64,
                 failed: false,
-                micros: start.elapsed().as_secs_f64() * 1e6,
+                micros: watch.record("exact.query_us"),
             }
         })
         .collect();
@@ -207,9 +210,10 @@ pub fn train_and_eval_lss(
         prone_dim: 32,
         seed,
     };
-    let t0 = Instant::now();
+    let watch = Stopwatch::start();
     let encoder = LearnedSketch::build_encoder(&sc.data, &cfg);
-    let encoder_secs = t0.elapsed().as_secs_f64();
+    watch.record("encoder.build_us");
+    let encoder_secs = watch.elapsed_secs();
     let (sketch, report) = LearnedSketch::train_with_encoder(encoder, train, &cfg);
     let items = encode_workload(sketch.encoder(), test);
     let per_query = test
@@ -217,14 +221,14 @@ pub fn train_and_eval_lss(
         .iter()
         .zip(&items)
         .map(|(q, (eq, _))| {
-            let start = Instant::now();
+            let watch = Stopwatch::start();
             let est = sketch.model().predict(eq).count();
             QueryResult {
                 size: q.size(),
                 truth: q.count as f64,
                 est,
                 failed: false,
-                micros: start.elapsed().as_secs_f64() * 1e6,
+                micros: watch.record("lss.predict_us"),
             }
         })
         .collect();

@@ -30,9 +30,11 @@
 pub mod evalkit;
 pub mod scenario;
 pub mod table;
+pub mod telemetry;
 
 pub use scenario::{
     bench_model_config, bench_train_config, epochs, full_fidelity, load_dataset, load_workload,
     per_size, scale, Scenario,
 };
 pub use table::TableWriter;
+pub use telemetry::{init_telemetry, TelemetryGuard};

@@ -117,6 +117,10 @@ pub fn load_dataset(name: &str) -> Graph {
             }
         }
     }
+    alss_telemetry::progress(
+        "scenario",
+        &format!("generating dataset {name} at scale {:.3}", scale()),
+    );
     // analyzer: allow(no-panic) - bench CLI surface; an unknown dataset name is a usage error and must abort with the name in the message
     let g = by_name(name, scale(), 0xA155).unwrap_or_else(|| panic!("unknown dataset {name}"));
     if let Ok(text) = serde_json::to_string(&g) {
@@ -142,6 +146,10 @@ pub fn load_workload(name: &str, data: &Graph, semantics: Semantics) -> Workload
             return w;
         }
     }
+    alss_telemetry::progress(
+        "scenario",
+        &format!("labeling {name} {sem} workload ({} per size)", per_size()),
+    );
     let spec = WorkloadSpec {
         sizes: query_sizes(name, semantics),
         per_size: per_size(),
@@ -180,9 +188,10 @@ pub fn load_scenario(name: &str, semantics: Semantics) -> Scenario {
 }
 
 /// Datasets selected on the command line (defaults to `defaults` if no
-/// args are given).
+/// args are given). The `--telemetry` flag and its value are not dataset
+/// names and are skipped.
 pub fn selected_datasets(defaults: &[&str]) -> Vec<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = crate::telemetry::strip_telemetry_flag(std::env::args().skip(1).collect());
     if args.is_empty() {
         defaults.iter().map(|s| s.to_string()).collect()
     } else {

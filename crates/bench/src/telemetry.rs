@@ -1,0 +1,139 @@
+//! Telemetry wiring for the figure/table binaries.
+//!
+//! Every binary calls [`init_telemetry`] first thing in `main` and keeps
+//! the returned guard alive for the whole run:
+//!
+//! ```text
+//! ALSS_TELEMETRY=spans cargo run --features telemetry --bin fig4 -- --telemetry out.jsonl
+//! ```
+//!
+//! * `--telemetry <path>` (or `--telemetry=<path>`) installs the JSON-lines
+//!   file sink; the recording mask comes from `ALSS_TELEMETRY` and defaults
+//!   to everything when the variable is unset.
+//! * Without the flag, `ALSS_TELEMETRY` alone installs the pretty stderr
+//!   sink (see [`alss_telemetry::init_from_env`]).
+//! * When the binary was built without `--features telemetry` the flag is
+//!   acknowledged with a warning and ignored — probes are compiled out.
+//!
+//! On drop the guard emits a final metrics-registry snapshot and flushes,
+//! so a JSONL capture always ends with the aggregate counters/histograms.
+
+use alss_telemetry::{Category, JsonLinesSink};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Keeps the sink installed for the lifetime of `main`; emits the final
+/// snapshot and flushes on drop.
+pub struct TelemetryGuard {
+    active: bool,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if self.active {
+            alss_telemetry::emit_snapshot();
+            alss_telemetry::flush();
+        }
+    }
+}
+
+/// Extract the `--telemetry <path>` / `--telemetry=<path>` flag from the
+/// raw argument list, returning the path when present.
+pub fn telemetry_path(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            return it.next().cloned();
+        }
+        if let Some(p) = a.strip_prefix("--telemetry=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Drop the `--telemetry` flag (and its value) from an argument list, so
+/// dataset selection sees only dataset names.
+pub fn strip_telemetry_flag(args: Vec<String>) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--telemetry" {
+            it.next(); // its value
+            continue;
+        }
+        if a.starts_with("--telemetry=") {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// Set up telemetry for a binary named `topic`. Must be called before any
+/// instrumented work; keep the returned guard alive until exit.
+pub fn init_telemetry(topic: &str) -> TelemetryGuard {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match telemetry_path(&args) {
+        Some(path) => {
+            if !alss_telemetry::compiled_in() {
+                alss_telemetry::progress(
+                    topic,
+                    "--telemetry ignored: binary built without --features telemetry",
+                );
+                return TelemetryGuard { active: false };
+            }
+            match JsonLinesSink::create(Path::new(&path)) {
+                Ok(sink) => {
+                    let mask = alss_telemetry::mask_from_env().unwrap_or(Category::ALL);
+                    alss_telemetry::install(Arc::new(sink), mask);
+                    TelemetryGuard { active: true }
+                }
+                Err(e) => {
+                    alss_telemetry::progress(topic, &format!("cannot open {path}: {e}"));
+                    TelemetryGuard { active: false }
+                }
+            }
+        }
+        None => {
+            let mask = alss_telemetry::init_from_env();
+            TelemetryGuard { active: mask != 0 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn path_extraction() {
+        assert_eq!(
+            telemetry_path(&strs(&["aids", "--telemetry", "out.jsonl"])),
+            Some("out.jsonl".to_string())
+        );
+        assert_eq!(
+            telemetry_path(&strs(&["--telemetry=t.jsonl", "yeast"])),
+            Some("t.jsonl".to_string())
+        );
+        assert_eq!(telemetry_path(&strs(&["aids", "yeast"])), None);
+        assert_eq!(telemetry_path(&strs(&["--telemetry"])), None);
+    }
+
+    #[test]
+    fn flag_stripping() {
+        assert_eq!(
+            strip_telemetry_flag(strs(&["aids", "--telemetry", "out.jsonl", "yeast"])),
+            strs(&["aids", "yeast"])
+        );
+        assert_eq!(
+            strip_telemetry_flag(strs(&["--telemetry=x", "aids"])),
+            strs(&["aids"])
+        );
+        assert_eq!(strip_telemetry_flag(strs(&["aids"])), strs(&["aids"]));
+    }
+}

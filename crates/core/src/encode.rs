@@ -273,6 +273,7 @@ impl Encoder {
     /// Decompose and encode a whole query graph (Algorithm 1, line 1 +
     /// §4.3).
     pub fn encode_query(&self, q: &Graph) -> EncodedQuery {
+        let _span = alss_telemetry::Span::enter("encode.query");
         let subs = alss_graph::decompose(q, self.hops)
             .iter()
             .map(|s| self.encode_substructure(s))

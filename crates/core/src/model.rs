@@ -257,6 +257,7 @@ impl LssModel {
     /// Inference: predict count and magnitude posterior (eval mode; no
     /// dropout, deterministic).
     pub fn predict(&self, query: &EncodedQuery) -> Prediction {
+        let _span = alss_telemetry::Span::enter("model.forward");
         let mut tape = Tape::new(false);
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let (reg, logits) = self.forward(&mut tape, query, &mut rng);

@@ -79,18 +79,28 @@ pub fn encode_workload(encoder: &Encoder, workload: &Workload) -> Vec<EncodedIte
 }
 
 /// Train `model` on pre-encoded items.
+///
+/// When telemetry events are enabled, every epoch emits a `train.epoch`
+/// event carrying the mean multi-task loss, the mean pre-step gradient
+/// norm, and the current learning rate; the gradient-norm computation is
+/// skipped entirely otherwise.
 pub fn train_model(model: &mut LssModel, items: &[EncodedItem], cfg: &TrainConfig) -> TrainReport {
     assert!(!items.is_empty(), "empty training set");
     assert!(cfg.batch_size >= 1, "batch size must be ≥ 1");
+    let _span = alss_telemetry::Span::enter("train");
+    let telemetry_on = alss_telemetry::enabled(alss_telemetry::Category::Events);
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut adam = Adam::new(cfg.adam, model.store());
     let mut order: Vec<usize> = (0..items.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_watch = alss_telemetry::Stopwatch::start();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut grad_norm_sum = 0.0f64;
+        let mut num_batches = 0u64;
         for batch in order.chunks(cfg.batch_size) {
             model.store_mut().zero_grads();
             let scale = 1.0 / batch.len() as f32;
@@ -102,10 +112,33 @@ pub fn train_model(model: &mut LssModel, items: &[EncodedItem], cfg: &TrainConfi
                 epoch_loss += tape.value(l).scalar() as f64;
                 tape.backward(scaled, model.store_mut());
             }
+            if telemetry_on {
+                grad_norm_sum += f64::from(model.store().grad_norm());
+            }
+            num_batches += 1;
             adam.step(model.store_mut());
         }
+        let lr = adam.lr();
         adam.decay_lr();
-        epoch_losses.push(epoch_loss / items.len() as f64);
+        let mean_loss = epoch_loss / items.len() as f64;
+        epoch_losses.push(mean_loss);
+        if telemetry_on {
+            epoch_watch.record("train.epoch_us");
+            alss_telemetry::counter("train.epochs").inc();
+            alss_telemetry::counter("train.batches").add(num_batches);
+            alss_telemetry::event(
+                "train.epoch",
+                &[
+                    ("epoch", alss_telemetry::Field::from(epoch)),
+                    ("loss", alss_telemetry::Field::F64(mean_loss)),
+                    (
+                        "grad_norm",
+                        alss_telemetry::Field::F64(grad_norm_sum / num_batches.max(1) as f64),
+                    ),
+                    ("lr", alss_telemetry::Field::from(lr)),
+                ],
+            );
+        }
     }
     TrainReport {
         epoch_losses,
@@ -122,6 +155,8 @@ pub fn finetune_model(
     cfg: &TrainConfig,
     seed_offset: u64,
 ) -> TrainReport {
+    let _span = alss_telemetry::Span::enter("finetune");
+    alss_telemetry::counter("train.finetunes").inc();
     let mut cfg = *cfg;
     cfg.seed = cfg.seed.wrapping_add(seed_offset);
     train_model(model, items, &cfg)

@@ -31,6 +31,7 @@ impl CardinalityEstimator for BoundSketch {
     }
 
     fn estimate(&self, query: &Graph, _rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.bound_sketch");
         let sizes = self.index.relation_sizes(query);
         match agm_bound(query, &sizes) {
             Some(b) if b.is_finite() => Estimate::ok(b),

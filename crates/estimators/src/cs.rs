@@ -81,6 +81,7 @@ impl CardinalityEstimator for CorrelatedSampling<'_> {
     }
 
     fn estimate(&self, query: &Graph, _rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.cs");
         let budget = Budget::new(self.budget_per_query);
         let c = match count_homomorphisms(&self.sampled, query, &budget) {
             Ok(c) => c,

@@ -164,6 +164,7 @@ impl CardinalityEstimator for CharacteristicSets {
     }
 
     fn estimate(&self, query: &Graph, _rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.cset");
         let (stars, membership) = Self::star_decomposition(query);
         let mut est = 1.0f64;
         for (center, leaves) in &stars {

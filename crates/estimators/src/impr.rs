@@ -113,6 +113,7 @@ impl CardinalityEstimator for Impr<'_> {
     }
 
     fn estimate(&self, query: &Graph, rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.impr");
         assert!(
             (3..=5).contains(&query.num_nodes()),
             "IMPR supports 3-5 node query graphs only (got {})",

@@ -51,6 +51,7 @@ impl CardinalityEstimator for JSub<'_> {
     }
 
     fn estimate(&self, query: &Graph, rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.jsub");
         let tree = Self::acyclic_subquery(query);
         WanderJoin::new(self.index, self.samples).estimate(&tree, rng)
     }

@@ -115,6 +115,7 @@ impl CardinalityEstimator for SumRdf {
     /// direction so `w/(s_u·s_v)` per orientation and homomorphisms count
     /// orientations via node choices).
     fn estimate(&self, query: &Graph, _rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.sumrdf");
         let mut est = 1.0f64;
         for v in query.nodes() {
             est *= self.group_size(query.label(v));

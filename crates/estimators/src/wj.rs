@@ -123,6 +123,7 @@ impl CardinalityEstimator for WanderJoin<'_> {
     }
 
     fn estimate(&self, query: &Graph, rng: &mut SmallRng) -> Estimate {
+        let _span = alss_telemetry::Span::enter("estimator.wj");
         let wo = walk_order(query, self.index);
         let mut total = 0.0f64;
         let mut valid = 0usize;

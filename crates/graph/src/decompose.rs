@@ -24,7 +24,10 @@ pub struct Substructure {
 /// tree rooted at `u`. Substructures deliberately overlap so the attention
 /// aggregator can learn their interrelation.
 pub fn decompose(q: &Graph, l: u32) -> Vec<Substructure> {
-    q.nodes().map(|root| substructure_at(q, root, l)).collect()
+    let _span = alss_telemetry::Span::enter("decompose");
+    let subs: Vec<Substructure> = q.nodes().map(|root| substructure_at(q, root, l)).collect();
+    alss_telemetry::counter("decompose.substructures").add(subs.len() as u64);
+    subs
 }
 
 /// Build the single substructure rooted at `root`.

@@ -35,11 +35,45 @@ impl<'a> Context<'a> {
     }
 }
 
+/// Per-search telemetry tallies. Plain local integers: incrementing them
+/// is negligible next to the candidate-filter probes in the same loop, so
+/// they are counted unconditionally and only flushed to the global metrics
+/// registry (a no-op when telemetry is disabled) once per search.
+#[derive(Default)]
+pub(crate) struct SearchStats {
+    /// Backtracking nodes expanded (calls into `extend`/`find`).
+    pub nodes_expanded: u64,
+    /// Candidates rejected by the anchor edge-label check.
+    pub pruned_label: u64,
+    /// Candidates rejected by the candidate filter.
+    pub pruned_filter: u64,
+    /// Candidates rejected by the injectivity (used-node) check.
+    pub pruned_injective: u64,
+    /// Candidates rejected by a non-anchor backward constraint.
+    pub pruned_backward: u64,
+}
+
+impl SearchStats {
+    /// Add the tallies into the global metrics registry.
+    pub fn flush(&self) {
+        if !alss_telemetry::enabled(alss_telemetry::Category::Metrics) {
+            return;
+        }
+        alss_telemetry::counter("matching.nodes_expanded").add(self.nodes_expanded);
+        alss_telemetry::counter("matching.pruned.label").add(self.pruned_label);
+        alss_telemetry::counter("matching.pruned.filter").add(self.pruned_filter);
+        alss_telemetry::counter("matching.pruned.injective").add(self.pruned_injective);
+        alss_telemetry::counter("matching.pruned.backward").add(self.pruned_backward);
+    }
+}
+
 /// Mutable per-worker search state.
 pub(crate) struct Search<'a, 'c> {
     ctx: &'c Context<'a>,
     /// Image of `mo.order[i]` for positions `< depth`.
     map: Vec<NodeId>,
+    /// Telemetry tallies for this worker.
+    pub stats: SearchStats,
 }
 
 impl<'a, 'c> Search<'a, 'c> {
@@ -47,6 +81,7 @@ impl<'a, 'c> Search<'a, 'c> {
         Search {
             ctx,
             map: vec![0; ctx.query.num_nodes()],
+            stats: SearchStats::default(),
         }
     }
 
@@ -111,6 +146,7 @@ impl<'a, 'c> Search<'a, 'c> {
             return Ok(1);
         }
         budget.charge(1)?;
+        self.stats.nodes_expanded += 1;
         let qv = ctx.mo.order[pos];
         let bw = &ctx.mo.backward[pos];
         let mut total: u64 = 0;
@@ -121,9 +157,11 @@ impl<'a, 'c> Search<'a, 'c> {
             budget.charge(ctx.data.num_nodes() as u64)?;
             for dv in ctx.data.nodes() {
                 if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                    self.stats.pruned_filter += 1;
                     continue;
                 }
                 if ctx.injective && self.used(pos, dv) {
+                    self.stats.pruned_injective += 1;
                     continue;
                 }
                 self.map[pos] = dv;
@@ -151,15 +189,19 @@ impl<'a, 'c> Search<'a, 'c> {
         for (i, &dv) in neighbors.iter().enumerate() {
             let dl = edge_labels.map(|l| l[i]).unwrap_or(WILDCARD);
             if !label_matches(ql_anchor, dl) {
+                self.stats.pruned_label += 1;
                 continue;
             }
             if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                self.stats.pruned_filter += 1;
                 continue;
             }
             if ctx.injective && self.used(pos, dv) {
+                self.stats.pruned_injective += 1;
                 continue;
             }
             if !self.backward_ok(pos, anchor, qv, dv) {
+                self.stats.pruned_backward += 1;
                 continue;
             }
             self.map[pos] = dv;
@@ -179,6 +221,7 @@ impl<'a, 'c> Search<'a, 'c> {
             return Ok(true);
         }
         budget.charge(1)?;
+        self.stats.nodes_expanded += 1;
         let qv = ctx.mo.order[pos];
         let bw = &ctx.mo.backward[pos];
 
@@ -186,9 +229,11 @@ impl<'a, 'c> Search<'a, 'c> {
             budget.charge(ctx.data.num_nodes() as u64)?;
             for dv in ctx.data.nodes() {
                 if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                    self.stats.pruned_filter += 1;
                     continue;
                 }
                 if ctx.injective && self.used(pos, dv) {
+                    self.stats.pruned_injective += 1;
                     continue;
                 }
                 self.map[pos] = dv;
@@ -216,15 +261,19 @@ impl<'a, 'c> Search<'a, 'c> {
         for (i, &dv) in neighbors.iter().enumerate() {
             let dl = edge_labels.map(|l| l[i]).unwrap_or(WILDCARD);
             if !label_matches(ql_anchor, dl) {
+                self.stats.pruned_label += 1;
                 continue;
             }
             if !ctx.filter.feasible(ctx.query, qv, dv, ctx.injective) {
+                self.stats.pruned_filter += 1;
                 continue;
             }
             if ctx.injective && self.used(pos, dv) {
+                self.stats.pruned_injective += 1;
                 continue;
             }
             if !self.backward_ok(pos, anchor, qv, dv) {
+                self.stats.pruned_backward += 1;
                 continue;
             }
             self.map[pos] = dv;
@@ -233,6 +282,13 @@ impl<'a, 'c> Search<'a, 'c> {
             }
         }
         Ok(false)
+    }
+}
+
+/// Record a budget exhaustion in the global metrics registry.
+pub(crate) fn note_budget_exhausted<T>(res: &Result<T, BudgetExceeded>) {
+    if res.is_err() {
+        alss_telemetry::counter("matching.budget_exhausted").inc();
     }
 }
 
@@ -246,13 +302,19 @@ pub(crate) fn count(
     if query.num_nodes() == 0 {
         return Ok(1); // the empty mapping
     }
+    let _span = alss_telemetry::Span::enter("matching.count");
     let ctx = Context::new(data, query, injective);
     let roots = ctx.roots();
-    budget.charge(roots.len() as u64)?;
     let mut search = Search::new(&ctx);
-    let mut total: u64 = 0;
-    for r in roots {
-        total = total.saturating_add(search.count_from_root(r, budget)?);
-    }
-    Ok(total)
+    let res = (|| {
+        budget.charge(roots.len() as u64)?;
+        let mut total: u64 = 0;
+        for r in roots {
+            total = total.saturating_add(search.count_from_root(r, budget)?);
+        }
+        Ok(total)
+    })();
+    search.stats.flush();
+    note_budget_exhausted(&res);
+    res
 }

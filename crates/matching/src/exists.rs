@@ -16,16 +16,22 @@ fn exists(
     if query.num_nodes() == 0 {
         return Ok(true);
     }
+    let _span = alss_telemetry::Span::enter("matching.exists");
     let ctx = Context::new(data, query, injective);
     let roots = ctx.roots();
-    budget.charge(roots.len() as u64)?;
     let mut search = Search::new(&ctx);
-    for r in roots {
-        if search.find_from_root(r, budget)? {
-            return Ok(true);
+    let res = (|| {
+        budget.charge(roots.len() as u64)?;
+        for r in roots {
+            if search.find_from_root(r, budget)? {
+                return Ok(true);
+            }
         }
-    }
-    Ok(false)
+        Ok(false)
+    })();
+    search.stats.flush();
+    crate::engine::note_budget_exhausted(&res);
+    res
 }
 
 /// Does `data` contain at least one homomorphic image of `query`?

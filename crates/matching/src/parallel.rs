@@ -18,16 +18,27 @@ fn count_parallel(
     if query.num_nodes() == 0 {
         return Ok(1);
     }
+    let _span = alss_telemetry::Span::enter("matching.count_parallel");
     let ctx = Context::new(data, query, injective);
     let roots = ctx.roots();
-    budget.charge(roots.len() as u64)?;
-    roots
-        .par_iter()
-        .map(|&r| {
-            let mut search = Search::new(&ctx);
-            search.count_from_root(r, budget)
-        })
-        .try_reduce(|| 0u64, |a, b| Ok(a.saturating_add(b)))
+    let res = budget.charge(roots.len() as u64).and_then(|()| {
+        let per_root = alss_telemetry::enabled(alss_telemetry::Category::Metrics);
+        roots
+            .par_iter()
+            .map(|&r| {
+                let watch = alss_telemetry::Stopwatch::start();
+                let mut search = Search::new(&ctx);
+                let n = search.count_from_root(r, budget);
+                search.stats.flush();
+                if per_root {
+                    watch.record("matching.root_us");
+                }
+                n
+            })
+            .try_reduce(|| 0u64, |a, b| Ok(a.saturating_add(b)))
+    });
+    crate::engine::note_budget_exhausted(&res);
+    res
 }
 
 /// Parallel [`crate::count_homomorphisms`].

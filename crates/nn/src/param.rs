@@ -99,6 +99,15 @@ impl ParamStore {
             .sum::<f32>()
             .sqrt()
     }
+
+    /// L2 norm over all accumulated gradients (telemetry / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|m| m.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
 }
 
 impl Default for ParamStore {
@@ -130,5 +139,16 @@ mod tests {
         assert_eq!(s.grad(w).data(), &[1.5, 2.5]);
         s.zero_grads();
         assert_eq!(s.grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_norm_tracks_accumulated_gradients() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Mat::zeros(1, 2));
+        assert_eq!(s.grad_norm(), 0.0);
+        s.accumulate_grad(w, &Mat::row_vector(&[3.0, 4.0]));
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        s.zero_grads();
+        assert_eq!(s.grad_norm(), 0.0);
     }
 }

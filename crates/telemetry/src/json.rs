@@ -1,0 +1,140 @@
+//! Minimal JSON writing. The crate is deliberately dependency-free, so the
+//! sinks render their own JSON instead of pulling in a serializer; the
+//! output is standard JSON (escaped strings; non-finite floats as `null`,
+//! matching `serde_json`'s lossy behaviour).
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number (`null` when non-finite).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental JSON object builder.
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start an object (`{`).
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Self {
+        self.key(key);
+        write_str(&mut self.buf, val);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, val: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&val.to_string());
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, val: i64) -> Self {
+        self.key(key);
+        self.buf.push_str(&val.to_string());
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, val: f64) -> Self {
+        self.key(key);
+        write_f64(&mut self.buf, val);
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn builds_objects() {
+        let j = Obj::new()
+            .str("type", "span")
+            .u64("n", 3)
+            .i64("g", -4)
+            .f64("us", 1.5)
+            .raw("inner", "{}")
+            .finish();
+        assert_eq!(
+            j,
+            "{\"type\":\"span\",\"n\":3,\"g\":-4,\"us\":1.5,\"inner\":{}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let j = Obj::new()
+            .f64("x", f64::NAN)
+            .f64("y", f64::INFINITY)
+            .finish();
+        assert_eq!(j, "{\"x\":null,\"y\":null}");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+}

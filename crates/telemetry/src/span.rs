@@ -1,0 +1,158 @@
+//! RAII span scopes with per-thread span stacks, and the [`Stopwatch`]
+//! interval timer.
+
+use crate::sink::Event;
+use crate::Category;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Snapshot of this thread's open-span names (outermost first). Exposed
+/// for tests and diagnostics.
+pub fn current_stack() -> Vec<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().clone())
+}
+
+/// A timed scope. Construct with [`Span::enter`]; the span measures until
+/// it is dropped, then emits an [`Event::Span`] carrying its `/`-joined
+/// ancestry and duration, and records the duration into the
+/// `span.<name>_us` histogram.
+///
+/// When span recording is disabled the constructor returns an inert value
+/// and the whole probe costs one branch.
+#[must_use = "a span measures until dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    active: Option<(Instant, &'static str)>,
+}
+
+impl Span {
+    /// Open a span named `name` on this thread.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled(Category::Spans) {
+            return Span { active: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            active: Some((Instant::now(), name)),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, name)) = self.active.take() else {
+            return;
+        };
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::histogram(&format!("span.{name}_us")).record(duration_to_micros(start.elapsed()));
+        crate::emit(&Event::Span {
+            name,
+            path,
+            micros,
+            thread: thread_name(),
+        });
+    }
+}
+
+fn thread_name() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("unnamed")
+        .to_string()
+}
+
+/// Saturating whole-microsecond conversion for histogram recording.
+#[inline]
+pub fn duration_to_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A monotonic interval timer. Unlike [`Span`] it always measures (so
+/// callers can keep using the elapsed time for their own results) and
+/// only the optional [`Stopwatch::record`] call touches telemetry.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock time.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed microseconds as a float (the unit the eval kit reports).
+    #[inline]
+    pub fn elapsed_micros(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Elapsed seconds as a float.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Record the elapsed time into histogram `name` (microseconds) and
+    /// return it as float microseconds.
+    #[inline]
+    pub fn record(&self, name: &str) -> f64 {
+        let d = self.start.elapsed();
+        crate::histogram(name).record(duration_to_micros(d));
+        d.as_secs_f64() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_span_leaves_stack_alone() {
+        // Recording is disabled by default (no mask set), so entering a
+        // span must not touch the thread-local stack.
+        let before = current_stack();
+        {
+            let _s = Span::enter("probe");
+            assert_eq!(current_stack(), before);
+        }
+        assert_eq!(current_stack(), before);
+    }
+
+    #[test]
+    fn stopwatch_measures_without_telemetry() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed_micros() >= 2_000.0);
+        assert!(sw.elapsed_secs() > 0.0);
+        // record() is a histogram no-op when disabled but still returns
+        // the measurement
+        assert!(sw.record("test.sw_us") >= 2_000.0);
+    }
+
+    #[test]
+    fn micros_conversion_saturates() {
+        assert_eq!(duration_to_micros(Duration::from_micros(5)), 5);
+        assert_eq!(duration_to_micros(Duration::MAX), u64::MAX);
+    }
+}

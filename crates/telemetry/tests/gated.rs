@@ -1,0 +1,159 @@
+//! Integration tests for the live recording path. Only meaningful with
+//! the `telemetry` feature (without it every probe is compiled out), so
+//! the whole file is feature-gated; CI runs it via
+//! `cargo test -p alss-telemetry --features telemetry`.
+#![cfg(feature = "telemetry")]
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use alss_telemetry::test_support::with_capture;
+use alss_telemetry::{
+    counter, event, histogram, parse_mask, progress, Category, Event, Field, Span, Stopwatch,
+};
+
+fn span_events(events: &[Event]) -> Vec<(String, String)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span { name, path, .. } => Some((name.to_string(), path.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn spans_nest_and_report_their_path() {
+    let (_, events) = with_capture(Category::ALL, || {
+        let _outer = Span::enter("outer");
+        {
+            let _inner = Span::enter("inner");
+        }
+    });
+    let spans = span_events(&events);
+    // inner closes first and sees the full ancestry
+    assert_eq!(spans[0], ("inner".to_string(), "outer/inner".to_string()));
+    assert_eq!(spans[1], ("outer".to_string(), "outer".to_string()));
+}
+
+#[test]
+fn sibling_spans_do_not_inherit_each_other() {
+    let (_, events) = with_capture(Category::ALL, || {
+        {
+            let _a = Span::enter("a");
+        }
+        {
+            let _b = Span::enter("b");
+        }
+    });
+    let spans = span_events(&events);
+    assert_eq!(spans[0].1, "a");
+    assert_eq!(spans[1].1, "b");
+}
+
+#[test]
+fn span_stacks_are_thread_isolated() {
+    let (_, events) = with_capture(Category::ALL, || {
+        let _outer = Span::enter("main-outer");
+        std::thread::Builder::new()
+            .name("worker".to_string())
+            .spawn(|| {
+                let _w = Span::enter("worker-span");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    });
+    for e in &events {
+        if let Event::Span {
+            name, path, thread, ..
+        } = e
+        {
+            if *name == "worker-span" {
+                // the worker's path must NOT include the main thread's
+                // open span
+                assert_eq!(path, "worker-span");
+                assert_eq!(thread, "worker");
+            }
+        }
+    }
+    assert_eq!(span_events(&events).len(), 2);
+}
+
+#[test]
+fn span_durations_feed_a_histogram() {
+    let (_, _) = with_capture(Category::ALL, || {
+        let _s = Span::enter("hist-probe");
+    });
+    let snap = alss_telemetry::snapshot();
+    let h = snap.histogram("span.hist-probe_us").expect("histogram");
+    assert!(h.count >= 1);
+}
+
+#[test]
+fn category_filter_masks_spans_but_not_metrics() {
+    let (_, events) = with_capture(parse_mask("metrics"), || {
+        let _s = Span::enter("filtered-out");
+        counter("gated.metric_only").add(2);
+    });
+    assert!(span_events(&events).is_empty());
+    assert_eq!(
+        alss_telemetry::snapshot().counter("gated.metric_only"),
+        Some(2)
+    );
+}
+
+#[test]
+fn point_events_carry_fields() {
+    let (_, events) = with_capture(Category::ALL, || {
+        event(
+            "train.epoch",
+            &[
+                ("epoch", Field::U64(1)),
+                ("loss", Field::F64(0.25)),
+                ("note", Field::from("ok")),
+            ],
+        );
+    });
+    let found = events.iter().any(|e| match e {
+        Event::Point { name, fields } => {
+            *name == "train.epoch"
+                && fields
+                    .iter()
+                    .any(|(k, v)| k == "loss" && *v == Field::F64(0.25))
+        }
+        _ => false,
+    });
+    assert!(found, "epoch event not captured: {events:?}");
+}
+
+#[test]
+fn progress_goes_through_the_sink() {
+    let (_, events) = with_capture(0, || {
+        // progress is never category-filtered
+        progress("test-bin", "phase one done");
+    });
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::Progress { topic, message }
+            if topic == "test-bin" && message == "phase one done"
+    )));
+}
+
+#[test]
+fn stopwatch_records_into_named_histogram() {
+    let (_, _) = with_capture(Category::ALL, || {
+        let sw = Stopwatch::start();
+        let us = sw.record("gated.sw_us");
+        assert!(us >= 0.0);
+    });
+    let snap = alss_telemetry::snapshot();
+    assert!(snap.histogram("gated.sw_us").map(|h| h.count) >= Some(1));
+}
+
+#[test]
+fn histogram_handle_routes_to_registry() {
+    let (_, _) = with_capture(Category::ALL, || {
+        histogram("gated.route_us").record(7);
+    });
+    let snap = alss_telemetry::snapshot();
+    assert_eq!(snap.histogram("gated.route_us").map(|h| h.max), Some(7));
+}
