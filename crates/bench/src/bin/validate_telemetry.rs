@@ -1,24 +1,59 @@
 //! CI validator for a `--telemetry` JSON-lines capture.
 //!
-//! Run: `cargo run -p alss-bench --bin validate_telemetry -- out.jsonl`
+//! Run: `cargo run -p alss-bench --bin validate_telemetry -- out.jsonl \
+//!       [--require-events ev1,ev2]`
 //!
 //! Checks that every line parses as a JSON object with a known `type` tag,
 //! that spans for the instrumented subsystems (query decomposition, model
-//! forward pass, matching engine) were recorded, and that the capture ends
+//! forward pass, matching engine) were recorded, that every event named in
+//! `--require-events` appears at least once, and that the capture ends
 //! with a metrics snapshot carrying non-zero counters. Exits non-zero (by
 //! panicking) on any violation, printing the offending line.
 
 use serde_json::Value;
 
+/// `--require-events a,b` / `--require-events=a,b` → `["a", "b"]`.
+fn required_events(args: &[String]) -> Vec<String> {
+    let mut it = args.iter();
+    let mut list = None;
+    while let Some(a) = it.next() {
+        if a == "--require-events" {
+            list = it.next().cloned();
+        } else if let Some(v) = a.strip_prefix("--require-events=") {
+            list = Some(v.to_string());
+        }
+    }
+    list.map(|l| {
+        l.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    })
+    .unwrap_or_default()
+}
+
 fn main() {
     let _telemetry = alss_bench::init_telemetry("validate_telemetry");
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "telemetry.jsonl".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let required = required_events(&args);
+    // First positional argument = capture path (skip flags and their values).
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--require-events" {
+            it.next();
+        } else if !a.starts_with("--") {
+            path = Some(a.clone());
+            break;
+        }
+    }
+    let path = path.unwrap_or_else(|| "telemetry.jsonl".to_string());
     // analyzer: allow(no-expect) - CI validator: a missing capture file is the failure being detected
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
 
     let mut spans: Vec<String> = Vec::new();
+    let mut events: Vec<String> = Vec::new();
     let mut last: Option<Value> = None;
     let mut n_lines = 0usize;
     for (i, line) in text.lines().enumerate() {
@@ -46,7 +81,12 @@ fn main() {
                 );
                 spans.push(path.to_string());
             }
-            "event" | "progress" | "snapshot" => {}
+            "event" => {
+                if let Some(name) = v.get("name").and_then(Value::as_str) {
+                    events.push(name.to_string());
+                }
+            }
+            "progress" | "snapshot" => {}
             other => panic!("line {}: unknown type {other:?}: {line}", i + 1),
         }
         n_lines += 1;
@@ -59,6 +99,14 @@ fn main() {
             spans.iter().any(|p| p.contains(required)),
             "{path}: no span matching {required:?} among {} spans",
             spans.len()
+        );
+    }
+
+    for ev in &required {
+        assert!(
+            events.iter().any(|e| e == ev),
+            "{path}: required event {ev:?} never emitted ({} events captured)",
+            events.len()
         );
     }
 
@@ -83,7 +131,8 @@ fn main() {
     );
 
     println!(
-        "{path}: OK — {n_lines} lines, {} spans, {nonzero} non-zero counters",
-        spans.len()
+        "{path}: OK — {n_lines} lines, {} spans, {} events, {nonzero} non-zero counters",
+        spans.len(),
+        events.len()
     );
 }

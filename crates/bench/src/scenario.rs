@@ -69,6 +69,7 @@ pub fn bench_train_config() -> TrainConfig {
             ..Default::default()
         },
         seed: 42,
+        parallelism: alss_core::Parallelism::auto(),
     }
 }
 
@@ -191,7 +192,7 @@ pub fn load_scenario(name: &str, semantics: Semantics) -> Scenario {
 /// args are given). The `--telemetry` flag and its value are not dataset
 /// names and are skipped.
 pub fn selected_datasets(defaults: &[&str]) -> Vec<String> {
-    let args = crate::telemetry::strip_telemetry_flag(std::env::args().skip(1).collect());
+    let args = crate::telemetry::strip_run_flags(std::env::args().skip(1).collect());
     if args.is_empty() {
         defaults.iter().map(|s| s.to_string()).collect()
     } else {

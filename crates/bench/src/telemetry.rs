@@ -52,17 +52,33 @@ pub fn telemetry_path(args: &[String]) -> Option<String> {
     None
 }
 
-/// Drop the `--telemetry` flag (and its value) from an argument list, so
-/// dataset selection sees only dataset names.
-pub fn strip_telemetry_flag(args: Vec<String>) -> Vec<String> {
+/// Extract the `--threads <n>` / `--threads=<n>` flag from the raw
+/// argument list. `Some(0)` (or any unparsable value) is treated as
+/// absent by [`init_telemetry`], falling back to auto-detection.
+pub fn threads_flag(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            return it.next().and_then(|v| v.trim().parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Drop the harness-level flags (`--telemetry <path>`, `--threads <n>`)
+/// from an argument list, so dataset selection sees only dataset names.
+pub fn strip_run_flags(args: Vec<String>) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--telemetry" {
+        if a == "--telemetry" || a == "--threads" {
             it.next(); // its value
             continue;
         }
-        if a.starts_with("--telemetry=") {
+        if a.starts_with("--telemetry=") || a.starts_with("--threads=") {
             continue;
         }
         out.push(a);
@@ -70,10 +86,19 @@ pub fn strip_telemetry_flag(args: Vec<String>) -> Vec<String> {
     out
 }
 
+/// Back-compat alias for [`strip_run_flags`].
+pub fn strip_telemetry_flag(args: Vec<String>) -> Vec<String> {
+    strip_run_flags(args)
+}
+
 /// Set up telemetry for a binary named `topic`. Must be called before any
 /// instrumented work; keep the returned guard alive until exit.
 pub fn init_telemetry(topic: &str) -> TelemetryGuard {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(n) = threads_flag(&args).filter(|&n| n > 0) {
+        alss_core::set_global_threads(n);
+        alss_telemetry::progress(topic, &format!("threads: {n}"));
+    }
     match telemetry_path(&args) {
         Some(path) => {
             if !alss_telemetry::compiled_in() {
@@ -127,13 +152,30 @@ mod tests {
     #[test]
     fn flag_stripping() {
         assert_eq!(
-            strip_telemetry_flag(strs(&["aids", "--telemetry", "out.jsonl", "yeast"])),
+            strip_run_flags(strs(&["aids", "--telemetry", "out.jsonl", "yeast"])),
             strs(&["aids", "yeast"])
         );
         assert_eq!(
-            strip_telemetry_flag(strs(&["--telemetry=x", "aids"])),
+            strip_run_flags(strs(&["--telemetry=x", "aids"])),
             strs(&["aids"])
         );
-        assert_eq!(strip_telemetry_flag(strs(&["aids"])), strs(&["aids"]));
+        assert_eq!(strip_run_flags(strs(&["aids"])), strs(&["aids"]));
+        assert_eq!(
+            strip_run_flags(strs(&["--threads", "4", "aids", "--telemetry=x"])),
+            strs(&["aids"])
+        );
+        assert_eq!(
+            strip_run_flags(strs(&["--threads=8", "yeast"])),
+            strs(&["yeast"])
+        );
+    }
+
+    #[test]
+    fn threads_extraction() {
+        assert_eq!(threads_flag(&strs(&["--threads", "4", "aids"])), Some(4));
+        assert_eq!(threads_flag(&strs(&["aids", "--threads=16"])), Some(16));
+        assert_eq!(threads_flag(&strs(&["aids"])), None);
+        assert_eq!(threads_flag(&strs(&["--threads", "bogus"])), None);
+        assert_eq!(threads_flag(&strs(&["--threads"])), None);
     }
 }

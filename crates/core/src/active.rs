@@ -4,6 +4,7 @@
 
 use crate::encode::EncodedQuery;
 use crate::model::{LssModel, Prediction};
+use crate::parallel::{par_map, Parallelism};
 use crate::train::weighted_sample_without_replacement;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -54,7 +55,26 @@ impl Strategy {
 
 /// The uncertainty score `φ(q; Θ)` of a prediction under a strategy
 /// (higher ⇒ more informative). [`Strategy::Random`] scores 1 for all.
+///
+/// A degenerate prediction — empty posterior, non-finite class
+/// probability, or (for [`Strategy::CrossTask`]) non-finite regression
+/// output — scores 0 rather than poisoning the sampling weights with
+/// NaN/±inf (an empty posterior previously made Confidence fold to
+/// `1 − (−inf) = +inf` and Margin panic on `top_two`).
 pub fn uncertainty(strategy: Strategy, pred: &Prediction) -> f64 {
+    if matches!(strategy, Strategy::Random) {
+        return 1.0;
+    }
+    let posterior_ok =
+        !pred.class_probs.is_empty() && pred.class_probs.iter().all(|p| p.is_finite());
+    let degenerate = match strategy {
+        Strategy::CrossTask => !posterior_ok || !pred.log10_count.is_finite(),
+        _ => !posterior_ok,
+    };
+    if degenerate {
+        alss_telemetry::counter("active.degenerate_predictions").inc();
+        return 0.0;
+    }
     match strategy {
         Strategy::Random => 1.0,
         Strategy::Confidence => {
@@ -83,7 +103,8 @@ pub fn uncertainty(strategy: Strategy, pred: &Prediction) -> f64 {
 }
 
 /// Select a batch of `budget` pool indices by normalized-uncertainty
-/// weighted sampling (§5 steps ①–②).
+/// weighted sampling (§5 steps ①–②). Pool scoring fans out over the
+/// auto-detected thread count; see [`select_batch_with`] to pin it.
 pub fn select_batch<R: Rng>(
     model: &LssModel,
     pool: &[EncodedQuery],
@@ -91,10 +112,21 @@ pub fn select_batch<R: Rng>(
     budget: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    let weights: Vec<f64> = pool
-        .iter()
-        .map(|eq| uncertainty(strategy, &model.predict(eq)))
-        .collect();
+    select_batch_with(model, pool, strategy, budget, rng, Parallelism::auto())
+}
+
+/// [`select_batch`] with an explicit thread count. Scoring is pure per
+/// item and weights come back in pool order, so for a fixed `rng` state
+/// the selection is identical at any thread count.
+pub fn select_batch_with<R: Rng>(
+    model: &LssModel,
+    pool: &[EncodedQuery],
+    strategy: Strategy,
+    budget: usize,
+    rng: &mut R,
+    par: Parallelism,
+) -> Vec<usize> {
+    let weights = par_map(par, pool, |_, eq| uncertainty(strategy, &model.predict(eq)));
     weighted_sample_without_replacement(&weights, budget, rng)
 }
 
@@ -136,14 +168,27 @@ impl LssEnsemble {
         preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64
     }
 
-    /// Select a batch by committee-variance weighted sampling.
+    /// Select a batch by committee-variance weighted sampling. Pool
+    /// scoring fans out over the auto-detected thread count.
     pub fn select_batch<R: Rng>(
         &self,
         pool: &[EncodedQuery],
         budget: usize,
         rng: &mut R,
     ) -> Vec<usize> {
-        let weights: Vec<f64> = pool.iter().map(|eq| self.uncertainty(eq)).collect();
+        self.select_batch_with(pool, budget, rng, Parallelism::auto())
+    }
+
+    /// [`LssEnsemble::select_batch`] with an explicit thread count; for a
+    /// fixed `rng` state the selection is identical at any thread count.
+    pub fn select_batch_with<R: Rng>(
+        &self,
+        pool: &[EncodedQuery],
+        budget: usize,
+        rng: &mut R,
+        par: Parallelism,
+    ) -> Vec<usize> {
+        let weights = par_map(par, pool, |_, eq| self.uncertainty(eq));
         weighted_sample_without_replacement(&weights, budget, rng)
     }
 }
@@ -278,5 +323,44 @@ mod tests {
     fn strategy_names_match_paper() {
         let names: Vec<_> = Strategy::all().iter().map(|s| s.name()).collect();
         assert_eq!(names, vec!["RAN", "CON", "MAR", "ENT", "CTC"]);
+    }
+
+    #[test]
+    fn empty_posterior_scores_zero_not_inf() {
+        // Regression: an empty posterior made Confidence fold to
+        // 1 − (−inf) = +inf and Margin panic inside top_two.
+        let empty = pred(vec![], 2.0);
+        for s in [
+            Strategy::Confidence,
+            Strategy::Margin,
+            Strategy::Entropy,
+            Strategy::CrossTask,
+        ] {
+            assert_eq!(uncertainty(s, &empty), 0.0, "{}", s.name());
+        }
+        assert_eq!(uncertainty(Strategy::Random, &empty), 1.0);
+    }
+
+    #[test]
+    fn non_finite_posterior_scores_zero() {
+        let nan = pred(vec![0.5, f64::NAN, 0.5], 2.0);
+        let inf = pred(vec![f64::INFINITY, 0.0], 2.0);
+        for s in [
+            Strategy::Confidence,
+            Strategy::Margin,
+            Strategy::Entropy,
+            Strategy::CrossTask,
+        ] {
+            assert_eq!(uncertainty(s, &nan), 0.0, "{} on NaN", s.name());
+            assert_eq!(uncertainty(s, &inf), 0.0, "{} on inf", s.name());
+        }
+    }
+
+    #[test]
+    fn cross_task_guards_non_finite_regression_output() {
+        let bad_reg = pred(vec![0.2, 0.8], f64::INFINITY);
+        assert_eq!(uncertainty(Strategy::CrossTask, &bad_reg), 0.0);
+        // the classifier-only strategies still score a healthy posterior
+        assert!(uncertainty(Strategy::Confidence, &bad_reg) > 0.0);
     }
 }

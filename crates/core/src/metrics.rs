@@ -4,7 +4,13 @@
 use serde::{Deserialize, Serialize};
 
 /// q-error (Eq. 1): `max(c/ĉ, ĉ/c)` with both counts clamped to ≥ 1.
+/// A non-finite input (NaN or ±inf from a diverged model) maps to
+/// `+inf` — the worst possible error — instead of silently propagating
+/// NaN through downstream aggregates.
 pub fn q_error(true_count: f64, est_count: f64) -> f64 {
+    if !true_count.is_finite() || !est_count.is_finite() {
+        return f64::INFINITY;
+    }
     let c = true_count.max(1.0);
     let e = est_count.max(1.0);
     (c / e).max(e / c)
@@ -47,7 +53,11 @@ impl QErrorStats {
             return None;
         }
         let mut qs: Vec<f64> = pairs.iter().map(|&(c, e)| q_error(c, e)).collect();
-        qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN-tolerant total order. The old
+        // `partial_cmp(..).unwrap_or(Equal)` left NaNs wherever they fell,
+        // quietly corrupting every quantile; q_error no longer produces
+        // NaN, but the sort must not rely on that.
+        qs.sort_by(f64::total_cmp);
         let pct = |p: f64| -> f64 {
             // quantile position: p ∈ [0, 1] keeps the product within 0..len.
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -113,6 +123,27 @@ mod tests {
     #[test]
     fn empty_input_is_none() {
         assert!(QErrorStats::from_pairs(&[]).is_none());
+    }
+
+    #[test]
+    fn non_finite_estimates_map_to_infinite_q_error() {
+        assert_eq!(q_error(100.0, f64::NAN), f64::INFINITY);
+        assert_eq!(q_error(100.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(q_error(f64::NAN, 100.0), f64::INFINITY);
+        assert_eq!(q_error(f64::NEG_INFINITY, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn stats_survive_non_finite_estimates() {
+        // A diverged estimate must land at the top of the distribution,
+        // not scramble the sort (the old partial_cmp fallback let a NaN
+        // freeze wherever it fell).
+        let pairs = vec![(10.0, 10.0), (10.0, f64::NAN), (10.0, 20.0)];
+        let s = QErrorStats::from_pairs(&pairs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, f64::INFINITY);
+        assert!(s.min <= s.p25 && s.p25 <= s.median && s.median <= s.p75);
     }
 
     #[test]

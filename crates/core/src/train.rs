@@ -1,11 +1,21 @@
 //! Training loop for LSS (§6.1): Adam with weight decay and per-epoch LR
 //! decay, mini-batch gradient accumulation, MSE-log + cross-entropy
 //! multi-task loss.
+//!
+//! Training is **data-parallel and deterministic**: within each
+//! mini-batch the per-item forward+backward passes fan out over worker
+//! threads, each accumulating into its own [`GradShard`]; shards are
+//! merged into the [`alss_nn::ParamStore`] in batch-position order and
+//! every item's dropout stream is derived from `(seed, epoch, item)`
+//! rather than a shared sequential RNG. The floating-point operations —
+//! and therefore losses and final weights — are bit-identical for any
+//! [`Parallelism`] thread count, including 1.
 
 use crate::encode::{EncodedQuery, Encoder};
 use crate::model::LssModel;
+use crate::parallel::{par_map, Parallelism};
 use crate::workload::Workload;
-use alss_nn::{Adam, AdamConfig, Tape};
+use alss_nn::{Adam, AdamConfig, GradShard, Tape};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -24,6 +34,10 @@ pub struct TrainConfig {
     pub adam: AdamConfig,
     /// RNG seed for shuffling and dropout.
     pub seed: u64,
+    /// Worker threads for the in-batch fan-out (results are independent
+    /// of this; it only affects wall-clock).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -33,6 +47,7 @@ impl Default for TrainConfig {
             batch_size: 4,
             adam: AdamConfig::default(),
             seed: 42,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -50,6 +65,7 @@ impl TrainConfig {
                 ..Default::default()
             },
             seed: 7,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -69,48 +85,179 @@ pub struct TrainReport {
 pub type EncodedItem = (EncodedQuery, u64);
 
 /// Encode a workload once (the encoding is deterministic, so the trainer
-/// caches it across epochs).
+/// caches it across epochs). Fans out over the auto-detected thread
+/// count; see [`encode_workload_with`] to pin it.
 pub fn encode_workload(encoder: &Encoder, workload: &Workload) -> Vec<EncodedItem> {
-    workload
-        .queries
-        .iter()
-        .map(|q| (encoder.encode_query(&q.graph), q.count))
-        .collect()
+    encode_workload_with(encoder, workload, Parallelism::auto())
+}
+
+/// [`encode_workload`] with an explicit thread count. Output is
+/// position-stable and independent of `par`.
+pub fn encode_workload_with(
+    encoder: &Encoder,
+    workload: &Workload,
+    par: Parallelism,
+) -> Vec<EncodedItem> {
+    par_map(par, &workload.queries, |_, q| {
+        (encoder.encode_query(&q.graph), q.count)
+    })
+}
+
+/// SplitMix64 finalizer: decorrelates structured `(seed, epoch, item)`
+/// triples into independent dropout streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-item training RNG. Keyed by the item's dataset index (not its
+/// batch position or worker thread), so the stochastic forward pass is a
+/// pure function of `(cfg.seed, epoch, item)` — the keystone of the
+/// thread-count-independence guarantee.
+fn item_rng(seed: u64, epoch: u64, item: u64) -> SmallRng {
+    let mixed = splitmix64(splitmix64(seed ^ epoch.wrapping_mul(0xA076_1D64_78BD_642F)) ^ item);
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Per-item outcome of a batch fan-out.
+struct ItemOutcome {
+    /// Unscaled multi-task loss value.
+    loss: f64,
+    /// Forward+backward wall time (0 when telemetry timing is off).
+    micros: f64,
+}
+
+/// Run one mini-batch's forward+backward passes, one [`GradShard`] per
+/// batch position, fanning positions out over `workers` threads in
+/// contiguous chunks (the first chunk runs on the calling thread).
+/// Outcomes come back in batch-position order.
+#[allow(clippy::too_many_arguments)] // private batch kernel; the arity is the loop state
+fn run_batch(
+    model: &LssModel,
+    items: &[EncodedItem],
+    batch: &[usize],
+    shards: &mut [GradShard],
+    scale: f32,
+    seed: u64,
+    epoch: u64,
+    workers: usize,
+    timing_on: bool,
+) -> Vec<ItemOutcome> {
+    let run_one = |&i: &usize, shard: &mut GradShard| -> ItemOutcome {
+        let watch = timing_on.then(alss_telemetry::Stopwatch::start);
+        let (eq, count) = &items[i];
+        let mut rng = item_rng(seed, epoch, i as u64);
+        let mut tape = Tape::new(true);
+        let l = model.loss(&mut tape, eq, *count, &mut rng);
+        let scaled = tape.scale(l, scale);
+        let loss = tape.value(l).scalar() as f64;
+        tape.backward(scaled, shard);
+        ItemOutcome {
+            loss,
+            micros: watch.map_or(0.0, |w| w.record("train.batch_item_us")),
+        }
+    };
+
+    let n = batch.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return batch
+            .iter()
+            .zip(shards.iter_mut())
+            .map(|(i, shard)| run_one(i, shard))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<ItemOutcome> = Vec::with_capacity(n);
+    let (head_idx, tail_idx) = batch.split_at(chunk);
+    let (head_shards, tail_shards) = shards[..n].split_at_mut(chunk);
+    std::thread::scope(|s| {
+        let run_one = &run_one;
+        let handles: Vec<_> = tail_idx
+            .chunks(chunk)
+            .zip(tail_shards.chunks_mut(chunk))
+            .map(|(idx, sh)| {
+                s.spawn(move || {
+                    idx.iter()
+                        .zip(sh.iter_mut())
+                        .map(|(i, shard)| run_one(i, shard))
+                        .collect::<Vec<ItemOutcome>>()
+                })
+            })
+            .collect();
+        out.extend(
+            head_idx
+                .iter()
+                .zip(head_shards.iter_mut())
+                .map(|(i, shard)| run_one(i, shard)),
+        );
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.extend(v),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
 }
 
 /// Train `model` on pre-encoded items.
 ///
+/// Within each mini-batch the per-item passes run data-parallel per
+/// `cfg.parallelism` (see the module docs for the determinism contract).
+///
 /// When telemetry events are enabled, every epoch emits a `train.epoch`
 /// event carrying the mean multi-task loss, the mean pre-step gradient
-/// norm, and the current learning rate; the gradient-norm computation is
-/// skipped entirely otherwise.
+/// norm, and the current learning rate, plus a `train.parallel_speedup`
+/// event relating summed per-item time to epoch wall time; per-item
+/// forward+backward durations feed the `train.batch_item_us` histogram.
+/// All of that is skipped entirely otherwise.
 pub fn train_model(model: &mut LssModel, items: &[EncodedItem], cfg: &TrainConfig) -> TrainReport {
     assert!(!items.is_empty(), "empty training set");
     assert!(cfg.batch_size >= 1, "batch size must be ≥ 1");
     let _span = alss_telemetry::Span::enter("train");
     let telemetry_on = alss_telemetry::enabled(alss_telemetry::Category::Events);
+    let timing_on = telemetry_on || alss_telemetry::enabled(alss_telemetry::Category::Metrics);
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut adam = Adam::new(cfg.adam, model.store());
     let mut order: Vec<usize> = (0..items.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let workers = cfg.parallelism.effective();
+    let mut shards = model.store().grad_shards(cfg.batch_size.min(items.len()));
 
     for epoch in 0..cfg.epochs {
         let epoch_watch = alss_telemetry::Stopwatch::start();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut item_us_sum = 0.0f64;
         let mut grad_norm_sum = 0.0f64;
         let mut num_batches = 0u64;
         for batch in order.chunks(cfg.batch_size) {
-            model.store_mut().zero_grads();
+            for shard in &mut shards[..batch.len()] {
+                shard.zero();
+            }
             let scale = 1.0 / batch.len() as f32;
-            for &i in batch {
-                let (eq, count) = &items[i];
-                let mut tape = Tape::new(true);
-                let l = model.loss(&mut tape, eq, *count, &mut rng);
-                let scaled = tape.scale(l, scale);
-                epoch_loss += tape.value(l).scalar() as f64;
-                tape.backward(scaled, model.store_mut());
+            let outcomes = run_batch(
+                model,
+                items,
+                batch,
+                &mut shards,
+                scale,
+                cfg.seed,
+                epoch as u64,
+                workers,
+                timing_on,
+            );
+            model.store_mut().zero_grads();
+            model.store_mut().merge_grads(&shards[..batch.len()]);
+            // Reduce in batch-position order: keeps the f64 sum identical
+            // to the single-threaded pass.
+            for o in &outcomes {
+                epoch_loss += o.loss;
+                item_us_sum += o.micros;
             }
             if telemetry_on {
                 grad_norm_sum += f64::from(model.store().grad_norm());
@@ -123,7 +270,7 @@ pub fn train_model(model: &mut LssModel, items: &[EncodedItem], cfg: &TrainConfi
         let mean_loss = epoch_loss / items.len() as f64;
         epoch_losses.push(mean_loss);
         if telemetry_on {
-            epoch_watch.record("train.epoch_us");
+            let wall_us = epoch_watch.record("train.epoch_us");
             alss_telemetry::counter("train.epochs").inc();
             alss_telemetry::counter("train.batches").add(num_batches);
             alss_telemetry::event(
@@ -136,6 +283,23 @@ pub fn train_model(model: &mut LssModel, items: &[EncodedItem], cfg: &TrainConfi
                         alss_telemetry::Field::F64(grad_norm_sum / num_batches.max(1) as f64),
                     ),
                     ("lr", alss_telemetry::Field::from(lr)),
+                ],
+            );
+            alss_telemetry::event(
+                "train.parallel_speedup",
+                &[
+                    ("epoch", alss_telemetry::Field::from(epoch)),
+                    ("threads", alss_telemetry::Field::from(workers)),
+                    (
+                        "speedup",
+                        alss_telemetry::Field::F64(if wall_us > 0.0 {
+                            item_us_sum / wall_us
+                        } else {
+                            1.0
+                        }),
+                    ),
+                    ("items_us", alss_telemetry::Field::F64(item_us_sum)),
+                    ("wall_us", alss_telemetry::Field::F64(wall_us)),
                 ],
             );
         }
@@ -162,26 +326,38 @@ pub fn finetune_model(
     train_model(model, items, &cfg)
 }
 
-/// Evaluate: `(true, estimated)` count pairs over encoded items.
+/// Evaluate: `(true, estimated)` count pairs over encoded items. Fans
+/// out over the auto-detected thread count (prediction is pure per item,
+/// so the output is independent of it).
 pub fn evaluate(model: &LssModel, items: &[EncodedItem]) -> Vec<(f64, f64)> {
-    items
-        .iter()
-        .map(|(eq, c)| (*c as f64, model.predict(eq).count()))
-        .collect()
+    evaluate_with(model, items, Parallelism::auto())
 }
 
-/// Mean multi-task loss of `model` on `items` (eval mode).
+/// [`evaluate`] with an explicit thread count.
+pub fn evaluate_with(model: &LssModel, items: &[EncodedItem], par: Parallelism) -> Vec<(f64, f64)> {
+    par_map(par, items, |_, (eq, c)| {
+        (*c as f64, model.predict(eq).count())
+    })
+}
+
+/// Mean multi-task loss of `model` on `items` (eval mode). Fans out over
+/// the auto-detected thread count.
 pub fn eval_loss(model: &LssModel, items: &[EncodedItem]) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(0);
-    let total: f64 = items
-        .iter()
-        .map(|(eq, c)| {
-            let mut tape = Tape::new(false);
-            let l = model.loss(&mut tape, eq, *c, &mut rng);
-            tape.value(l).scalar() as f64
-        })
-        .sum();
-    total / items.len().max(1) as f64
+    eval_loss_with(model, items, Parallelism::auto())
+}
+
+/// [`eval_loss`] with an explicit thread count. Per-item losses are
+/// summed in item order, so the result is bit-identical for any `par`.
+pub fn eval_loss_with(model: &LssModel, items: &[EncodedItem], par: Parallelism) -> f64 {
+    let losses = par_map(par, items, |_, (eq, c)| {
+        // Eval tapes never sample (dropout is inert), so a fixed-seed
+        // throwaway RNG keeps the loss a pure function of the item.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut tape = Tape::new(false);
+        let l = model.loss(&mut tape, eq, *c, &mut rng);
+        tape.value(l).scalar() as f64
+    });
+    losses.iter().sum::<f64>() / items.len().max(1) as f64
 }
 
 /// Deterministically seeded helper used across benches/tests.
@@ -194,9 +370,86 @@ pub fn magnitude_of(count: u64, num_classes: usize) -> usize {
     alss_nn::loss::magnitude_class(count as f64, num_classes)
 }
 
+/// Fenwick (binary-indexed) tree over per-item weights: prefix sums and
+/// point updates in O(log n), so k weighted draws cost O(n + k log n)
+/// instead of the O(n·k) of re-summing the pool on every draw.
+struct FenwickTree {
+    /// 1-based tree; `tree[i]` owns the range `(i - lowbit(i), i]`.
+    tree: Vec<f64>,
+}
+
+impl FenwickTree {
+    /// Build from raw weights in O(n).
+    fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0.0f64; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            let i = i + 1;
+            tree[i] += w;
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let carried = tree[i];
+                tree[parent] += carried;
+            }
+        }
+        FenwickTree { tree }
+    }
+
+    /// Add `delta` to item `i` (0-based).
+    fn add(&mut self, i: usize, delta: f64) {
+        let n = self.tree.len() - 1;
+        let mut i = i + 1;
+        while i <= n {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Weight currently stored at item `i` (0-based): prefix(i+1) − prefix(i).
+    fn get(&self, i: usize) -> f64 {
+        self.prefix(i + 1) - self.prefix(i)
+    }
+
+    /// Sum of the first `i` items.
+    fn prefix(&self, mut i: usize) -> f64 {
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// First 0-based index whose inclusive prefix sum exceeds `t`
+    /// (bit-descend from the highest power of two ≤ n). `None` only if
+    /// float round-off pushes `t` past the total.
+    fn search(&self, mut t: f64) -> Option<usize> {
+        let n = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut step = n.next_power_of_two();
+        if step > n {
+            step >>= 1;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= t {
+                t -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        if pos < n {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+}
+
 /// Draw `k` distinct indices weighted by `weights` (weighted sampling
-/// without replacement; uniform fallback when all weights are ~0). Shared
-/// by the active learner and benches.
+/// without replacement; uniform fallback when the remaining mass is ~0;
+/// non-finite weights are treated as 0). Shared by the active learner and
+/// benches. O(n + k log n) via a Fenwick tree and a running total.
 pub fn weighted_sample_without_replacement<R: Rng>(
     weights: &[f64],
     k: usize,
@@ -204,47 +457,49 @@ pub fn weighted_sample_without_replacement<R: Rng>(
 ) -> Vec<usize> {
     let n = weights.len();
     let k = k.min(n);
+    let sanitized: Vec<f64> = weights
+        .iter()
+        .map(|&x| if x.is_finite() { x.max(0.0) } else { 0.0 })
+        .collect();
+    let mut fen = FenwickTree::new(&sanitized);
+    let mut total: f64 = sanitized.iter().sum();
     let mut picked = vec![false; n];
     let mut out = Vec::with_capacity(k);
-    let mut w: Vec<f64> = weights.iter().map(|&x| x.max(0.0)).collect();
+    // Lazily-built pool of remaining indices for the uniform fallback once
+    // the weighted mass is exhausted (swap_remove keeps draws O(1)).
+    let mut uniform_pool: Option<Vec<usize>> = None;
     for _ in 0..k {
-        let total: f64 = w
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !picked[*i])
-            .map(|(_, &x)| x)
-            .sum();
         let choice = if total <= 1e-12 {
-            // uniform among remaining
-            let remaining: Vec<usize> = (0..n).filter(|&i| !picked[i]).collect();
-            remaining[rng.gen_range(0..remaining.len())]
-        } else {
-            let mut t = rng.gen::<f64>() * total;
-            let mut sel = None;
-            for i in 0..n {
-                if picked[i] {
-                    continue;
-                }
-                t -= w[i];
-                if t <= 0.0 {
-                    sel = Some(i);
-                    break;
-                }
+            let pool = uniform_pool
+                .get_or_insert_with(|| (0..n).filter(|&i| !picked[i]).collect::<Vec<usize>>());
+            if pool.is_empty() {
+                // Unreachable: `k <= n` bounds the loop, so an unpicked
+                // item always remains.
+                debug_assert!(false, "items remain");
+                break;
             }
-            // Float round-off can leave `t` barely positive after the last
-            // unpicked item; fall back to the highest unpicked index.
-            match sel.or_else(|| (0..n).rfind(|&i| !picked[i])) {
+            pool.swap_remove(rng.gen_range(0..pool.len()))
+        } else {
+            let t = rng.gen::<f64>() * total;
+            // Float round-off can push `t` past the tree total, or leave a
+            // picked slot with a ~1e-16 residue the search lands on; both
+            // fall back to the highest unpicked index.
+            match fen
+                .search(t)
+                .filter(|&i| !picked[i])
+                .or_else(|| (0..n).rfind(|&i| !picked[i]))
+            {
                 Some(i) => i,
                 None => {
-                    // Unreachable: `k <= n` bounds the loop, so an unpicked
-                    // item always remains.
                     debug_assert!(false, "items remain");
                     break;
                 }
             }
         };
         picked[choice] = true;
-        w[choice] = 0.0;
+        let w = fen.get(choice);
+        fen.add(choice, -w);
+        total = (total - w).max(0.0);
         out.push(choice);
     }
     out
@@ -346,5 +601,70 @@ mod tests {
         let picked = weighted_sample_without_replacement(&weights, 2, &mut rng);
         assert_eq!(picked.len(), 2);
         assert_ne!(picked[0], picked[1]);
+    }
+
+    #[test]
+    fn non_finite_weights_are_never_picked() {
+        let mut rng = seeded_rng(5);
+        // NaN / ±inf weights are sanitized to 0, so with finite mass
+        // present they can never be drawn.
+        let weights = [f64::NAN, 1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY];
+        for _ in 0..50 {
+            let picked = weighted_sample_without_replacement(&weights, 2, &mut rng);
+            assert_eq!(picked.len(), 2);
+            assert!(
+                picked.iter().all(|&i| i == 1 || i == 3),
+                "picked {picked:?}"
+            );
+        }
+        // All-non-finite degrades to the uniform fallback, still distinct.
+        let bad = [f64::NAN, f64::INFINITY, f64::NAN];
+        let picked = weighted_sample_without_replacement(&bad, 3, &mut rng);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_pool_sampling_is_fast_and_distinct() {
+        // Regression for the O(n·k) re-sum: 100k-item pool, k = 1000. With
+        // the Fenwick tree this is O(n + k log n) and finishes in
+        // milliseconds; the old quadratic path took ~100M weight visits.
+        let n = 100_000;
+        let k = 1_000;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 97) as f64).collect();
+        let mut rng = seeded_rng(6);
+        let start = std::time::Instant::now();
+        let picked = weighted_sample_without_replacement(&weights, k, &mut rng);
+        let elapsed = start.elapsed();
+        assert_eq!(picked.len(), k);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), k, "duplicates drawn");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "sampling took {elapsed:?}; the O(n·k) path has regressed"
+        );
+    }
+
+    #[test]
+    fn fenwick_prefix_sums_and_search_match_naive() {
+        let weights = [0.5, 0.0, 2.0, 1.25, 0.0, 3.0, 0.25];
+        let fen = FenwickTree::new(&weights);
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((fen.prefix(i) - acc).abs() < 1e-12);
+            assert!((fen.get(i) - w).abs() < 1e-12);
+            acc += w;
+        }
+        // search(t) = first index whose inclusive prefix exceeds t
+        assert_eq!(fen.search(0.0), Some(0));
+        assert_eq!(fen.search(0.49), Some(0));
+        assert_eq!(fen.search(0.5), Some(2)); // skips the zero-weight slot
+        assert_eq!(fen.search(2.49), Some(2));
+        assert_eq!(fen.search(2.5), Some(3));
+        assert_eq!(fen.search(6.9), Some(6));
+        assert_eq!(fen.search(7.1), None); // past the total
     }
 }

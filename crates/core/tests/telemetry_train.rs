@@ -89,6 +89,37 @@ fn train_emits_one_epoch_event_per_epoch() {
 }
 
 #[test]
+fn train_emits_parallel_speedup_event_per_epoch() {
+    let epochs = 3;
+    let (mut model, items) = tiny_setup();
+    let mut cfg = TrainConfig::quick(epochs);
+    cfg.parallelism = alss_core::Parallelism::fixed(2);
+    let (_report, events) = with_capture(Category::ALL, || train_model(&mut model, &items, &cfg));
+
+    let speedup_events: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Point { name, fields } if *name == "train.parallel_speedup" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        speedup_events.len(),
+        epochs,
+        "one train.parallel_speedup event per epoch"
+    );
+    for (i, fields) in speedup_events.iter().enumerate() {
+        assert_eq!(field_u64(fields, "epoch"), i as u64, "epochs in order");
+        assert_eq!(field_u64(fields, "threads"), 2);
+        let speedup = field_f64(fields, "speedup");
+        assert!(speedup.is_finite() && speedup > 0.0, "speedup: {speedup}");
+        let items_us = field_f64(fields, "items_us");
+        let wall_us = field_f64(fields, "wall_us");
+        assert!(items_us > 0.0 && wall_us > 0.0, "timings recorded");
+    }
+}
+
+#[test]
 fn finetune_emits_epoch_events_under_finetune_span() {
     let (mut model, items) = tiny_setup();
     let cfg = TrainConfig::quick(2);

@@ -259,7 +259,7 @@ pub fn adjacency_from_edges(n: usize, edges: &[(u32, u32)]) -> Adjacency {
         adj[u as usize].push(v);
         adj[v as usize].push(u);
     }
-    std::rc::Rc::new(adj)
+    std::sync::Arc::new(adj)
 }
 
 /// Sum of initial edge features incident to each node: `edge_feats[i]` is

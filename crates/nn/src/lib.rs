@@ -73,5 +73,5 @@ pub use attention::SelfAttention;
 pub use gin::{adjacency_from_edges, edge_feature_sums, Aggregation, GinEncoder, GinLayer};
 pub use linear::{Activation, Linear, Mlp};
 pub use mat::Mat;
-pub use param::{ParamId, ParamStore};
+pub use param::{GradShard, GradSink, ParamId, ParamStore};
 pub use tape::{Adjacency, Tape, Var};

@@ -12,6 +12,51 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParamId(pub(crate) usize);
 
+/// Destination for the gradients produced by a backward pass: either the
+/// [`ParamStore`] itself (the serial path) or a detached [`GradShard`]
+/// owned by one worker thread of the data-parallel trainer.
+pub trait GradSink {
+    /// Add `g` into the accumulator for parameter `id`.
+    fn accumulate_grad(&mut self, id: ParamId, g: &Mat);
+}
+
+/// A detached gradient accumulator shaped like a [`ParamStore`]'s
+/// parameter list. Worker threads each own one (no locks on the hot
+/// path); [`ParamStore::merge_grads`] reduces shards back into the store
+/// in slice order, so the floating-point reduction tree is fixed by the
+/// caller and independent of how work was scheduled onto threads.
+#[derive(Clone, Debug)]
+pub struct GradShard {
+    grads: Vec<Mat>,
+}
+
+impl GradShard {
+    /// Reset every accumulator to zero (reuse across batches without
+    /// reallocating).
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Accumulated gradient for one parameter.
+    pub fn grad(&self, id: ParamId) -> &Mat {
+        &self.grads[id.0]
+    }
+}
+
+impl GradSink for GradShard {
+    fn accumulate_grad(&mut self, id: ParamId, g: &Mat) {
+        self.grads[id.0].add_assign(g);
+    }
+}
+
+impl GradSink for ParamStore {
+    fn accumulate_grad(&mut self, id: ParamId, g: &Mat) {
+        ParamStore::accumulate_grad(self, id, g);
+    }
+}
+
 /// Owning store of all learnable parameters of a model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ParamStore {
@@ -68,6 +113,38 @@ impl ParamStore {
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
             g.fill_zero();
+        }
+    }
+
+    /// `n` zeroed [`GradShard`]s shaped like this store's parameter list
+    /// (one per worker of a data-parallel backward pass).
+    pub fn grad_shards(&self, n: usize) -> Vec<GradShard> {
+        (0..n)
+            .map(|_| GradShard {
+                grads: self
+                    .values
+                    .iter()
+                    .map(|v| Mat::zeros(v.rows(), v.cols()))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Reduce detached shards into this store's gradient accumulators,
+    /// strictly in slice order. The fixed reduction order is what makes
+    /// parallel training bit-identical across thread counts: callers hand
+    /// shards over in a schedule-independent order (batch position), not
+    /// in thread-completion order.
+    pub fn merge_grads(&mut self, shards: &[GradShard]) {
+        for shard in shards {
+            assert_eq!(
+                shard.grads.len(),
+                self.grads.len(),
+                "shard/store parameter count mismatch"
+            );
+            for (acc, g) in self.grads.iter_mut().zip(&shard.grads) {
+                acc.add_assign(g);
+            }
         }
     }
 
@@ -139,6 +216,43 @@ mod tests {
         assert_eq!(s.grad(w).data(), &[1.5, 2.5]);
         s.zero_grads();
         assert_eq!(s.grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shards_merge_in_slice_order() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Mat::zeros(1, 2));
+        let mut shards = s.grad_shards(3);
+        shards[0].accumulate_grad(w, &Mat::row_vector(&[1.0, 0.0]));
+        shards[1].accumulate_grad(w, &Mat::row_vector(&[0.0, 2.0]));
+        // shard 2 stays zero — merging it must be a no-op
+        s.merge_grads(&shards);
+        assert_eq!(s.grad(w).data(), &[1.0, 2.0]);
+        // zeroing a shard lets it be reused for the next batch
+        shards[0].zero();
+        assert_eq!(shards[0].grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shard_merge_equals_direct_accumulation() {
+        // Route the same gradients through (a) the store directly and
+        // (b) one shard per contribution merged in order: results must be
+        // bitwise equal — the guarantee the determinism contract rests on.
+        let contributions = [[0.1f32, -0.2], [0.3, 0.7], [-0.5, 0.11]];
+        let mut direct = ParamStore::new();
+        let wd = direct.add("w", Mat::zeros(1, 2));
+        for c in &contributions {
+            GradSink::accumulate_grad(&mut direct, wd, &Mat::row_vector(c));
+        }
+        let mut sharded = ParamStore::new();
+        let ws = sharded.add("w", Mat::zeros(1, 2));
+        let mut shards = sharded.grad_shards(contributions.len());
+        for (shard, c) in shards.iter_mut().zip(&contributions) {
+            shard.accumulate_grad(ws, &Mat::row_vector(c));
+        }
+        sharded.merge_grads(&shards);
+        let (a, b) = (direct.grad(wd).data(), sharded.grad(ws).data());
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! tested against.
 
 use crate::mat::Mat;
-use crate::param::{ParamId, ParamStore};
-use std::rc::Rc;
+use crate::param::{GradSink, ParamId, ParamStore};
+use std::sync::Arc;
 
 /// Handle to a tape node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,7 +20,11 @@ pub struct Var(usize);
 
 /// Fixed (non-differentiable) adjacency of a substructure for GIN
 /// aggregation: `adj[v]` lists the neighbors of local node `v`.
-pub type Adjacency = Rc<Vec<Vec<u32>>>;
+///
+/// Shared via `Arc` (not `Rc`) so encoded queries — and the tapes built
+/// over them — are `Send + Sync` and can be fanned out across worker
+/// threads by the data-parallel trainer.
+pub type Adjacency = Arc<Vec<Vec<u32>>>;
 
 enum Op {
     Leaf,
@@ -367,9 +371,10 @@ impl Tape {
     }
 
     /// Reverse pass from a scalar `loss` node; parameter gradients are
-    /// accumulated into `store`, node gradients are retained for
-    /// [`Tape::grad`].
-    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+    /// accumulated into `sink` (a [`ParamStore`] directly, or a detached
+    /// [`crate::param::GradShard`] when backward passes run on worker
+    /// threads), node gradients are retained for [`Tape::grad`].
+    pub fn backward<S: GradSink + ?Sized>(&mut self, loss: Var, sink: &mut S) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
@@ -392,7 +397,7 @@ impl Tape {
                         "non-finite parameter gradient for {id:?}: {:?}",
                         g.first_non_finite()
                     );
-                    store.accumulate_grad(id, &g);
+                    sink.accumulate_grad(id, &g);
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
@@ -567,7 +572,7 @@ impl Tape {
                     self.add_grad(a, dx);
                 }
                 Op::GraphAgg(x, adj, eps) => {
-                    let (x, adj, eps) = (*x, Rc::clone(adj), *eps);
+                    let (x, adj, eps) = (*x, Arc::clone(adj), *eps);
                     // (A + (1+eps) I) is symmetric → backward is the same op.
                     let mut dx = g.map(|e| e * (1.0 + eps));
                     for (node, nbrs) in adj.iter().enumerate() {
@@ -649,7 +654,7 @@ mod tests {
     #[test]
     fn graph_agg_triangle() {
         // path 0-1-2, eps=0: out[1] = x1 + x0 + x2
-        let adj: Adjacency = Rc::new(vec![vec![1], vec![0, 2], vec![1]]);
+        let adj: Adjacency = Arc::new(vec![vec![1], vec![0, 2], vec![1]]);
         let mut t = Tape::new(false);
         let x = t.input(Mat::from_vec(3, 1, vec![1.0, 10.0, 100.0]));
         let y = t.graph_agg(x, adj, 0.0);
@@ -702,6 +707,22 @@ mod tests {
         let mut store = ParamStore::new();
         t.backward(loss, &mut store);
         assert!(t.grad(x).all_finite());
+    }
+
+    #[test]
+    fn tape_and_inputs_are_send() {
+        // The data-parallel trainer moves tapes and shares adjacencies
+        // across worker threads; this is a compile-time audit that the
+        // autodiff types stay thread-safe.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Tape>();
+        assert_send::<Adjacency>();
+        assert_sync::<Adjacency>();
+        assert_send::<Mat>();
+        assert_sync::<Mat>();
+        assert_sync::<ParamStore>();
+        assert_send::<crate::param::GradShard>();
     }
 
     #[test]

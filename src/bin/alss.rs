@@ -5,7 +5,8 @@
 //! alss workload  --graph graph.txt --sizes 3,4,6 --per-size 30
 //!                [--iso] [--budget N] --out workload.json
 //! alss train     --graph graph.txt --workload workload.json
-//!                [--encoding fre|emb|con] [--epochs N] --out sketch.json
+//!                [--encoding fre|emb|con] [--epochs N] [--threads N]
+//!                --out sketch.json
 //! alss estimate  --sketch sketch.json --query query.txt
 //! alss count     --graph graph.txt --query query.txt [--iso] [--budget N]
 //! alss evaluate  --sketch sketch.json --workload workload.json
@@ -166,8 +167,15 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     cfg.model.hidden = args.parsed("hidden", 32)?;
     cfg.model.gnn_layers = args.parsed("layers", 2)?;
     cfg.model.dropout = args.parsed("dropout", 0.1)?;
+    // --threads 0 (the default) auto-detects; any N pins the fan-out.
+    let threads: usize = args.parsed("threads", 0)?;
     cfg.train = TrainConfig {
         epochs,
+        parallelism: if threads > 0 {
+            alss::core::Parallelism::fixed(threads)
+        } else {
+            alss::core::Parallelism::auto()
+        },
         ..TrainConfig::default()
     };
     cfg.prone_dim = args.parsed("prone-dim", 32)?;
