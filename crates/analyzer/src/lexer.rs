@@ -16,8 +16,13 @@ pub struct LineView {
     /// Code with every comment and literal body replaced by spaces
     /// (literal delimiters are kept so token shapes survive).
     pub code: String,
-    /// Concatenated text of comments on this line.
+    /// Concatenated text of regular (non-doc) comments on this line.
+    /// Waivers and `SAFETY:` annotations are only read from here.
     pub comment: String,
+    /// Concatenated text of doc comments (`///`, `//!`) on this line.
+    /// Kept separate so waiver syntax *quoted in documentation* is never
+    /// parsed as a live waiver (and can never go stale).
+    pub doc: String,
 }
 
 /// Lex `source` into per-line views.
@@ -32,6 +37,7 @@ pub fn split_lines(source: &str) -> Vec<LineView> {
     enum State {
         Code,
         LineComment,
+        DocComment,        // `///` / `//!`
         BlockComment(u32), // nesting depth
         Str,               // "..."
         RawStr(usize),     // r##"..."## with fence length
@@ -42,7 +48,7 @@ pub fn split_lines(source: &str) -> Vec<LineView> {
     while i < bytes.len() {
         let c = bytes[i];
         if c == '\n' {
-            if state == State::LineComment {
+            if state == State::LineComment || state == State::DocComment {
                 state = State::Code;
             }
             lines.push(std::mem::take(&mut cur));
@@ -54,8 +60,20 @@ pub fn split_lines(source: &str) -> Vec<LineView> {
                 let next = bytes.get(i + 1).copied();
                 match (c, next) {
                     ('/', Some('/')) => {
-                        state = State::LineComment;
-                        i += 2;
+                        // `///` (but not `////`, a banner) and `//!` are
+                        // doc comments; their text goes to `doc`.
+                        let is_doc = match bytes.get(i + 2).copied() {
+                            Some('!') => true,
+                            Some('/') => bytes.get(i + 3).copied() != Some('/'),
+                            _ => false,
+                        };
+                        if is_doc {
+                            state = State::DocComment;
+                            i += 3;
+                        } else {
+                            state = State::LineComment;
+                            i += 2;
+                        }
                     }
                     ('/', Some('*')) => {
                         state = State::BlockComment(1);
@@ -119,6 +137,10 @@ pub fn split_lines(source: &str) -> Vec<LineView> {
             }
             State::LineComment => {
                 cur.comment.push(c);
+                i += 1;
+            }
+            State::DocComment => {
+                cur.doc.push(c);
                 i += 1;
             }
             State::BlockComment(depth) => {
@@ -280,6 +302,26 @@ mod tests {
     fn escaped_quote_in_char() {
         let v = split_lines(r"let q = '\''; y.unwrap()");
         assert!(v[0].code.contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn doc_comments_are_kept_out_of_comment_text() {
+        let v = split_lines(
+            "/// quoting: analyzer: allow(no-unwrap) - x\n//! same here\n// real comment\n",
+        );
+        assert!(v[0].comment.is_empty());
+        assert!(v[0].doc.contains("allow(no-unwrap)"));
+        assert!(v[1].comment.is_empty());
+        assert!(v[1].doc.contains("same here"));
+        assert!(v[2].comment.contains("real comment"));
+        assert!(v[2].doc.is_empty());
+    }
+
+    #[test]
+    fn quadruple_slash_banner_is_a_regular_comment() {
+        let v = split_lines("//// banner ////\n");
+        assert!(v[0].comment.contains("banner"));
+        assert!(v[0].doc.is_empty());
     }
 
     #[test]

@@ -24,10 +24,14 @@ pub enum Rule {
     NoPrintln,
     /// A waiver comment that names no rule or carries no reason.
     MalformedWaiver,
+    /// A well-formed waiver that no longer silences anything: the code it
+    /// referenced was fixed, moved, or deleted. Stale waivers are dead
+    /// suppressions — they must be removed, not kept "just in case".
+    StaleWaiver,
 }
 
 /// All rules, for iteration and name lookup.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::NoUnwrap,
     Rule::NoExpect,
     Rule::NoPanic,
@@ -36,6 +40,7 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::UnsafeWithoutComment,
     Rule::NoPrintln,
     Rule::MalformedWaiver,
+    Rule::StaleWaiver,
 ];
 
 impl Rule {
@@ -50,6 +55,7 @@ impl Rule {
             Rule::UnsafeWithoutComment => "unsafe-without-comment",
             Rule::NoPrintln => "no-println",
             Rule::MalformedWaiver => "malformed-waiver",
+            Rule::StaleWaiver => "stale-waiver",
         }
     }
 
@@ -60,9 +66,10 @@ impl Rule {
 
     /// Waivable rules can be silenced per-site with an `allow` waiver
     /// comment carrying a reason (see the `waiver` module). A malformed
-    /// waiver cannot waive itself.
+    /// waiver cannot waive itself, and a stale waiver cannot be waived —
+    /// the fix is always to delete the dead comment.
     pub fn waivable(self) -> bool {
-        !matches!(self, Rule::MalformedWaiver)
+        !matches!(self, Rule::MalformedWaiver | Rule::StaleWaiver)
     }
 }
 

@@ -48,6 +48,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
             Ok(mut ws) => {
                 for w in &mut ws {
                     w.target = waiver_target(&lines, idx);
+                    w.declared = Some(lineno);
                 }
                 waivers.extend(ws);
             }
@@ -100,19 +101,52 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Apply waivers.
+    // Apply waivers, tracking which ones actually silence something.
+    let mut used = vec![false; waivers.len()];
     for f in &mut findings {
         if !f.rule.waivable() {
             continue;
         }
-        if let Some(w) = waivers
+        if let Some((wi, w)) = waivers
             .iter()
-            .find(|w| w.target == Some(f.line) && w.rules.contains(&f.rule))
+            .enumerate()
+            .find(|(_, w)| w.target == Some(f.line) && w.rules.contains(&f.rule))
         {
             f.waived = true;
             f.waiver_reason = Some(w.reason.clone());
+            used[wi] = true;
         }
     }
+
+    // Stale-waiver audit: a waiver whose target line no longer exists, or
+    // whose named rules fire nothing there, is a dead suppression. It gets
+    // its own (unwaivable) finding at the declaration site so the gate
+    // forces the comment to be deleted along with the code it excused.
+    for (w, used) in waivers.iter().zip(&used) {
+        if *used {
+            continue;
+        }
+        let names: Vec<&str> = w.rules.iter().map(|r| r.name()).collect();
+        let message = match w.target {
+            None => format!(
+                "stale waiver: allow({}) has no target (no code line follows)",
+                names.join(", ")
+            ),
+            Some(t) => format!(
+                "stale waiver: allow({}) silences nothing at line {t}; \
+                 delete the comment or move it to the offending line",
+                names.join(", ")
+            ),
+        };
+        findings.push(finding(
+            rel_path,
+            w.declared.unwrap_or(1),
+            Rule::StaleWaiver,
+            message,
+            &raw_lines,
+        ));
+    }
+    findings.sort_by_key(|f| f.line);
     findings
 }
 

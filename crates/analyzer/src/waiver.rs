@@ -23,6 +23,9 @@ pub struct Waiver {
     pub reason: String,
     /// 1-based line the waiver applies to; filled in by the scanner.
     pub target: Option<usize>,
+    /// 1-based line the waiver comment itself sits on; filled in by the
+    /// scanner and used to report stale waivers at their source.
+    pub declared: Option<usize>,
 }
 
 const MARKER: &str = "analyzer:";
@@ -88,6 +91,7 @@ pub fn parse_waivers(comment: &str) -> Result<Vec<Waiver>, String> {
             rules,
             reason: reason.to_string(),
             target: None,
+            declared: None,
         });
         rest = &rest[pos + MARKER.len()..];
     }

@@ -211,9 +211,67 @@ let x = a.unwrap() + b.expect(\"b\");
 }
 
 #[test]
-fn waiver_for_wrong_rule_does_not_silence() {
+fn waiver_for_wrong_rule_does_not_silence_and_is_stale() {
     let src = "let x = v.unwrap(); // analyzer: allow(no-panic) - not the right rule\n";
-    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 1, false)]);
+    assert_eq!(
+        rules_at(LIB, src),
+        vec![(Rule::NoUnwrap, 1, false), (Rule::StaleWaiver, 1, false)]
+    );
+}
+
+#[test]
+fn waiver_with_no_finding_is_stale() {
+    let src = "\
+// analyzer: allow(no-unwrap) - the unwrap below was long since removed
+let x = checked(v);
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::StaleWaiver, 1, false)]);
+}
+
+#[test]
+fn waiver_with_no_following_code_is_stale() {
+    let src = "// analyzer: allow(no-unwrap) - dangling at end of file\n";
+    let f = rules_at(LIB, src);
+    assert_eq!(f, vec![(Rule::StaleWaiver, 1, false)]);
+}
+
+#[test]
+fn used_waiver_is_not_stale() {
+    let src = "let x = v.unwrap(); // analyzer: allow(no-unwrap) - checked above\n";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 1, true)]);
+}
+
+#[test]
+fn multi_rule_waiver_is_used_when_any_rule_fires() {
+    // Only no-unwrap fires; the waiver still silenced something, so it is
+    // live, not stale.
+    let src = "\
+// analyzer: allow(no-unwrap, no-expect) - fixture construction
+let x = a.unwrap();
+";
+    assert_eq!(rules_at(LIB, src), vec![(Rule::NoUnwrap, 2, true)]);
+}
+
+#[test]
+fn stale_waiver_cannot_be_waived() {
+    let src = "\
+// analyzer: allow(stale-waiver) - trying to excuse dead suppressions
+let x = 1;
+";
+    // Naming an unwaivable rule is itself malformed.
+    assert_eq!(rules_at(LIB, src), vec![(Rule::MalformedWaiver, 1, false)]);
+}
+
+#[test]
+fn waiver_syntax_in_doc_comments_is_ignored() {
+    // Documentation *about* waivers (like the waiver module's own docs)
+    // must neither waive anything nor be reported stale.
+    let src = "\
+/// Example: `// analyzer: allow(no-unwrap) - reason`
+//! More docs: analyzer: allow(no-panic) - also quoted
+fn documented() {}
+";
+    assert!(rules_at(LIB, src).is_empty());
 }
 
 #[test]

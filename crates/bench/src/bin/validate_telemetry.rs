@@ -1,138 +1,44 @@
 //! CI validator for a `--telemetry` JSON-lines capture.
 //!
 //! Run: `cargo run -p alss-bench --bin validate_telemetry -- out.jsonl \
-//!       [--require-events ev1,ev2]`
+//!       [--require-events ev1,ev2] [--require-spans s1,s2]`
 //!
 //! Checks that every line parses as a JSON object with a known `type` tag,
-//! that spans for the instrumented subsystems (query decomposition, model
-//! forward pass, matching engine) were recorded, that every event named in
-//! `--require-events` appears at least once, and that the capture ends
-//! with a metrics snapshot carrying non-zero counters. Exits non-zero (by
-//! panicking) on any violation, printing the offending line.
+//! that each `--require-spans` substring (default: the decompose / model
+//! forward / matching subsystems) matches some recorded span, that every
+//! event named in `--require-events` appears at least once, and that the
+//! capture ends with a metrics snapshot carrying non-zero counters.
+//!
+//! `--require-events` / `--require-spans` given with an empty or malformed
+//! list is a hard error — a gate that silently requires nothing is worse
+//! than a failing one. Exits non-zero on any violation, printing the
+//! offending line. The rules live in [`alss_bench::validate`].
 
-use serde_json::Value;
+use alss_bench::validate::{parse_args, validate_capture};
+use std::process::ExitCode;
 
-/// `--require-events a,b` / `--require-events=a,b` → `["a", "b"]`.
-fn required_events(args: &[String]) -> Vec<String> {
-    let mut it = args.iter();
-    let mut list = None;
-    while let Some(a) = it.next() {
-        if a == "--require-events" {
-            list = it.next().cloned();
-        } else if let Some(v) = a.strip_prefix("--require-events=") {
-            list = Some(v.to_string());
-        }
-    }
-    list.map(|l| {
-        l.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(String::from)
-            .collect()
-    })
-    .unwrap_or_default()
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = parse_args(&args)?;
+    let text = std::fs::read_to_string(&spec.path)
+        .map_err(|e| format!("cannot read {}: {e}", spec.path))?;
+    let sum = validate_capture(&text, &spec).map_err(|e| format!("{}: {e}", spec.path))?;
+    Ok(format!(
+        "{}: OK — {} lines, {} spans, {} events, {} non-zero counters",
+        spec.path, sum.lines, sum.spans, sum.events, sum.nonzero_counters
+    ))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let _telemetry = alss_bench::init_telemetry("validate_telemetry");
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let required = required_events(&args);
-    // First positional argument = capture path (skip flags and their values).
-    let mut path = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--require-events" {
-            it.next();
-        } else if !a.starts_with("--") {
-            path = Some(a.clone());
-            break;
+    match run() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_telemetry: {e}");
+            ExitCode::FAILURE
         }
     }
-    let path = path.unwrap_or_else(|| "telemetry.jsonl".to_string());
-    // analyzer: allow(no-expect) - CI validator: a missing capture file is the failure being detected
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-
-    let mut spans: Vec<String> = Vec::new();
-    let mut events: Vec<String> = Vec::new();
-    let mut last: Option<Value> = None;
-    let mut n_lines = 0usize;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v: Value = serde_json::from_str(line)
-            .unwrap_or_else(|e| panic!("line {}: invalid JSON ({e}): {line}", i + 1));
-        let ty = v
-            .get("type")
-            .and_then(Value::as_str)
-            .unwrap_or_else(|| panic!("line {}: missing \"type\" tag: {line}", i + 1));
-        match ty {
-            "span" => {
-                let path = v
-                    .get("path")
-                    .and_then(Value::as_str)
-                    .unwrap_or_else(|| panic!("line {}: span without path: {line}", i + 1));
-                assert!(
-                    v.get("us")
-                        .and_then(Value::as_f64)
-                        .is_some_and(|us| us >= 0.0),
-                    "line {}: span without non-negative \"us\": {line}",
-                    i + 1
-                );
-                spans.push(path.to_string());
-            }
-            "event" => {
-                if let Some(name) = v.get("name").and_then(Value::as_str) {
-                    events.push(name.to_string());
-                }
-            }
-            "progress" | "snapshot" => {}
-            other => panic!("line {}: unknown type {other:?}: {line}", i + 1),
-        }
-        n_lines += 1;
-        last = Some(v);
-    }
-    assert!(n_lines > 0, "{path}: empty capture");
-
-    for required in ["decompose", "model.forward", "matching."] {
-        assert!(
-            spans.iter().any(|p| p.contains(required)),
-            "{path}: no span matching {required:?} among {} spans",
-            spans.len()
-        );
-    }
-
-    for ev in &required {
-        assert!(
-            events.iter().any(|e| e == ev),
-            "{path}: required event {ev:?} never emitted ({} events captured)",
-            events.len()
-        );
-    }
-
-    let last = last.unwrap_or_else(|| unreachable!("n_lines > 0"));
-    assert_eq!(
-        last.get("type").and_then(Value::as_str),
-        Some("snapshot"),
-        "{path}: capture must end with a metrics snapshot"
-    );
-    let counters = last
-        .get("counters")
-        .and_then(Value::as_object)
-        .unwrap_or_else(|| panic!("{path}: snapshot without counters object"));
-    let nonzero = counters
-        .iter()
-        .filter(|(_, v)| v.as_u64().unwrap_or(0) > 0)
-        .count();
-    assert!(
-        nonzero > 0,
-        "{path}: snapshot has no non-zero counters ({} total)",
-        counters.len()
-    );
-
-    println!(
-        "{path}: OK — {n_lines} lines, {} spans, {} events, {nonzero} non-zero counters",
-        spans.len(),
-        events.len()
-    );
 }

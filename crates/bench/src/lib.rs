@@ -31,6 +31,7 @@ pub mod evalkit;
 pub mod scenario;
 pub mod table;
 pub mod telemetry;
+pub mod validate;
 
 pub use scenario::{
     bench_model_config, bench_train_config, epochs, full_fidelity, load_dataset, load_workload,

@@ -1,0 +1,249 @@
+//! Canonical query hashing for isomorphism-aware caching.
+//!
+//! The serving layer wants `estimate(q)` to be a cache hit whenever an
+//! *isomorphic* copy of `q` was answered before, regardless of how the
+//! client happened to number the query's nodes. This module computes a
+//! 64-bit hash that is invariant under node permutations: two isomorphic
+//! graphs always receive the same [`CanonicalKey`].
+//!
+//! The construction is degree/label-refined color refinement (1-WL):
+//!
+//! 1. every node starts with a color derived from its primary label, its
+//!    sorted extra labels, and its degree;
+//! 2. each round recolors a node by hashing its own color together with the
+//!    **sorted** multiset of `(edge label, neighbor color)` pairs;
+//!    refinement stops when the number of distinct colors stabilizes (at
+//!    most `n` rounds);
+//! 3. the graph hash folds together the sorted multiset of final node
+//!    colors, the sorted multiset of canonical edge signatures, the node
+//!    and edge counts, and a connectivity flag.
+//!
+//! Every step is a sorted-multiset fold, so the result cannot depend on
+//! node ids — permutation invariance holds by construction. The converse
+//! (distinct hashes for non-isomorphic graphs) holds exactly as often as
+//! 1-WL distinguishes the pair; WL-equivalent non-isomorphic graphs (e.g.
+//! some regular graph pairs) share a hash. For the small labeled query
+//! graphs this workspace serves (≤ ~16 nodes, labeled, usually connected)
+//! such collisions are vanishingly rare, and a collision degrades only to
+//! a *cached approximate estimate* for a WL-equivalent query — acceptable
+//! for an estimate cache, not for an exact-match index.
+
+use crate::{Graph, LabelId};
+
+/// Cache key for a query graph: canonical hash plus cheap structural
+/// invariants kept separate to further cut the collision surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalKey {
+    /// Number of query nodes.
+    pub nodes: u32,
+    /// Number of (unique, undirected) query edges.
+    pub edges: u32,
+    /// Permutation-invariant WL hash (see module docs).
+    pub hash: u64,
+}
+
+/// splitmix64 finalizer: the avalanche core used for all mixing here.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Order-dependent combine; callers sort first where invariance is needed.
+#[inline]
+fn mix(acc: u64, v: u64) -> u64 {
+    finalize(acc ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Fold a label into a hash. [`crate::WILDCARD`] maps to its own sentinel
+/// so "any" never collides with a concrete label.
+#[inline]
+fn mix_label(acc: u64, l: LabelId) -> u64 {
+    mix(acc, u64::from(l) ^ 0xA5A5_0000)
+}
+
+/// Initial color: primary label, sorted extra labels, degree.
+fn initial_colors(g: &Graph) -> Vec<u64> {
+    g.nodes()
+        .map(|v| {
+            let mut h = mix_label(0x1217_5EED, g.label(v));
+            let mut extra: Vec<LabelId> = g.extra_labels(v).to_vec();
+            extra.sort_unstable();
+            for l in extra {
+                h = mix_label(h, l);
+            }
+            mix(h, g.degree(v) as u64)
+        })
+        .collect()
+}
+
+fn distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// One refinement round: hash each node's color with the sorted multiset
+/// of `(edge label, neighbor color)` signatures.
+fn refine_once(g: &Graph, colors: &[u64]) -> Vec<u64> {
+    g.nodes()
+        .map(|v| {
+            let nbrs = g.neighbors(v);
+            let elabels = g.neighbor_edge_labels(v);
+            let mut sig: Vec<u64> = nbrs
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| {
+                    let el = elabels.map_or(crate::WILDCARD, |ls| ls[i]);
+                    mix_label(colors[u as usize], el)
+                })
+                .collect();
+            sig.sort_unstable();
+            let mut h = mix(0xC01_0C01, colors[v as usize]);
+            for s in sig {
+                h = mix(h, s);
+            }
+            h
+        })
+        .collect()
+}
+
+/// Final WL node colors after stabilized refinement.
+fn stable_colors(g: &Graph) -> Vec<u64> {
+    let n = g.num_nodes();
+    let mut colors = initial_colors(g);
+    let mut classes = distinct(&colors);
+    // Each effective round strictly grows the number of color classes, so
+    // at most `n` rounds are ever needed.
+    for _ in 0..n {
+        let next = refine_once(g, &colors);
+        let next_classes = distinct(&next);
+        colors = next;
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+    colors
+}
+
+/// Permutation-invariant canonical hash of a (query) graph.
+pub fn canonical_hash(g: &Graph) -> u64 {
+    let _span = alss_telemetry::Span::enter("canon.hash");
+    let colors = stable_colors(g);
+
+    // Sorted multiset of node colors.
+    let mut node_part = colors.clone();
+    node_part.sort_unstable();
+    let mut h = 0x5EED_CA40_u64;
+    for c in node_part {
+        h = mix(h, c);
+    }
+
+    // Sorted multiset of edge signatures (endpoint colors ordered).
+    let mut edge_part: Vec<u64> = g
+        .edges()
+        .map(|e| {
+            let (cu, cv) = (colors[e.u as usize], colors[e.v as usize]);
+            let (lo, hi) = if cu <= cv { (cu, cv) } else { (cv, cu) };
+            mix_label(mix(mix(0xED6E, lo), hi), e.label)
+        })
+        .collect();
+    edge_part.sort_unstable();
+    for s in edge_part {
+        h = mix(h, s);
+    }
+
+    h = mix(h, g.num_nodes() as u64);
+    h = mix(h, g.num_edges() as u64);
+    mix(h, u64::from(g.is_connected()))
+}
+
+/// Canonical cache key for a query graph.
+pub fn canonical_key(g: &Graph) -> CanonicalKey {
+    CanonicalKey {
+        nodes: u32::try_from(g.num_nodes()).unwrap_or(u32::MAX),
+        edges: u32::try_from(g.num_edges()).unwrap_or(u32::MAX),
+        hash: canonical_hash(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::{GraphBuilder, WILDCARD};
+
+    #[test]
+    fn permuted_path_hashes_identically() {
+        // 0-1-2 with labels a,b,c vs the reversed numbering.
+        let g1 = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let g2 = graph_from_edges(&[2, 1, 0], &[(0, 1), (1, 2)]);
+        assert_eq!(canonical_key(&g1), canonical_key(&g2));
+    }
+
+    #[test]
+    fn labels_matter() {
+        let g1 = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let g2 = graph_from_edges(&[0, 1], &[(0, 1)]);
+        assert_ne!(canonical_hash(&g1), canonical_hash(&g2));
+    }
+
+    #[test]
+    fn structure_matters() {
+        // Path P4 vs star S3: same labels, same node/edge counts,
+        // different degree sequences.
+        let path = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let star = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(canonical_hash(&path), canonical_hash(&star));
+    }
+
+    #[test]
+    fn connectivity_disambiguates_wl_twins() {
+        // C6 vs 2xC3 is the classic 1-WL-equivalent pair; the explicit
+        // connectivity flag still separates them.
+        let mut b = GraphBuilder::new(6);
+        for v in 0..6 {
+            b.set_label(v, 0);
+        }
+        for v in 0..6u32 {
+            b.add_edge(v, (v + 1) % 6);
+        }
+        let c6 = b.build();
+
+        let mut b = GraphBuilder::new(6);
+        for v in 0..6 {
+            b.set_label(v, 0);
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        let two_c3 = b.build();
+        assert_ne!(canonical_hash(&c6), canonical_hash(&two_c3));
+    }
+
+    #[test]
+    fn wildcard_label_is_distinct() {
+        let mut b = GraphBuilder::new(2);
+        b.set_label(0, 0).set_label(1, WILDCARD);
+        b.add_edge(0, 1);
+        let wild = b.build();
+        let concrete = graph_from_edges(&[0, 1], &[(0, 1)]);
+        assert_ne!(canonical_hash(&wild), canonical_hash(&concrete));
+    }
+
+    #[test]
+    fn edge_labels_contribute() {
+        let mut b = GraphBuilder::new(2);
+        b.set_label(0, 0).set_label(1, 0);
+        b.add_labeled_edge(0, 1, 3);
+        let g1 = b.build();
+        let mut b = GraphBuilder::new(2);
+        b.set_label(0, 0).set_label(1, 0);
+        b.add_labeled_edge(0, 1, 4);
+        let g2 = b.build();
+        assert_ne!(canonical_hash(&g1), canonical_hash(&g2));
+    }
+}

@@ -52,6 +52,7 @@
 pub mod augmented;
 pub mod bfs;
 pub mod builder;
+pub mod canon;
 pub mod decompose;
 pub mod extract;
 pub mod graph;
@@ -60,6 +61,7 @@ pub mod labels;
 
 pub use bfs::{bfs_tree, BfsTree};
 pub use builder::GraphBuilder;
+pub use canon::{canonical_hash, canonical_key, CanonicalKey};
 pub use decompose::{decompose, Substructure};
 pub use graph::{CsrViolation, EdgeRef, Graph};
 pub use labels::LabelStats;

@@ -1,0 +1,254 @@
+//! Micro-batching: a bounded MPSC queue drained into model-forward
+//! batches over the shared [`Parallelism`] pool.
+//!
+//! Connection handlers submit [`Job`]s; a single batcher thread blocks on
+//! the queue, drains up to `batch_size` pending jobs, computes every
+//! estimate of the batch with an order-preserving [`par_map`], and replies
+//! to each job's channel **in arrival order**. Per-item computation is
+//! pure, so results are bit-identical at any thread count (the PR-4
+//! determinism contract extends to the serving path).
+//!
+//! Deadline handling happens at drain time: a job whose deadline elapsed
+//! while it sat in the queue (or whose server has no model) is answered by
+//! the deterministic Wander-Join fallback and marked degraded. Fresh
+//! full-quality answers are inserted into the shared canonical cache;
+//! degraded answers are not, so they can never shadow a model answer.
+
+use crate::cache::{CachedEstimate, ShardedLru};
+use crate::engine::{fallback_outcome, model_outcome, Outcome};
+use alss_core::{par_map, LearnedSketch, Parallelism};
+use alss_estimators::{LabelIndex, WanderJoin};
+use alss_graph::{CanonicalKey, Graph};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Maximum jobs drained into one forward batch.
+    pub batch_size: usize,
+    /// Bound of the submission queue; a full queue sheds load with an
+    /// explicit error instead of queueing unbounded work.
+    pub queue_cap: usize,
+    /// Worker fan-out for the per-batch `par_map`.
+    pub parallelism: Parallelism,
+    /// Random walks per fallback Wander-Join estimate.
+    pub wj_samples: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_size: 16,
+            queue_cap: 1024,
+            parallelism: Parallelism::auto(),
+            wj_samples: 64,
+        }
+    }
+}
+
+/// One queued estimate request.
+pub struct Job {
+    /// Request id (telemetry only; responses correlate via `reply`).
+    pub id: u64,
+    /// The parsed query graph.
+    pub graph: Graph,
+    /// Its canonical cache key.
+    pub key: CanonicalKey,
+    /// Arrival time; deadlines are measured from here.
+    pub enqueued: Instant,
+    /// Optional deadline since `enqueued`.
+    pub deadline: Option<Duration>,
+    /// Reply channel (capacity ≥ 1; the batcher never blocks on it).
+    pub reply: SyncSender<Outcome>,
+}
+
+/// Handle to the batcher thread. Dropping it drains and joins the thread.
+pub struct Batcher {
+    tx: Option<SyncSender<Job>>,
+    handle: Option<JoinHandle<()>>,
+    depth: Arc<AtomicI64>,
+}
+
+impl Batcher {
+    /// Spawn the batcher thread. `model` is `None` when the server runs in
+    /// degraded mode (checkpoint never loaded); `data` is the data graph
+    /// backing the fallback estimator.
+    pub fn spawn(
+        model: Option<LearnedSketch>,
+        data: Graph,
+        cache: Arc<ShardedLru>,
+        cfg: BatchConfig,
+    ) -> std::io::Result<Batcher> {
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_cap.max(1));
+        let depth = Arc::new(AtomicI64::new(0));
+        let thread_depth = Arc::clone(&depth);
+        let handle = std::thread::Builder::new()
+            .name("alss-serve-batcher".to_string())
+            .spawn(move || run_batcher(&model, &data, &cache, &cfg, &rx, &thread_depth))?;
+        Ok(Batcher {
+            tx: Some(tx),
+            handle: Some(handle),
+            depth,
+        })
+    }
+
+    /// Submit a job. Fails (load shedding) when the queue is full or the
+    /// batcher is shutting down.
+    pub fn submit(&self, job: Job) -> Result<(), String> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err("batcher is shut down".to_string());
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+                alss_telemetry::gauge("serve.queue_depth").set(d);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                alss_telemetry::counter("serve.queue_full").inc();
+                Err("server overloaded: request queue is full".to_string())
+            }
+            Err(TrySendError::Disconnected(_)) => Err("batcher is shut down".to_string()),
+        }
+    }
+
+    /// Current number of queued-but-undrained jobs (approximate).
+    pub fn queue_depth(&self) -> i64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.tx = None; // disconnect: the thread drains the queue and exits
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_batcher(
+    model: &Option<LearnedSketch>,
+    data: &Graph,
+    cache: &ShardedLru,
+    cfg: &BatchConfig,
+    rx: &Receiver<Job>,
+    depth: &AtomicI64,
+) {
+    let index = LabelIndex::new(data);
+    let wj = WanderJoin::new(&index, cfg.wj_samples.max(1));
+    let batch_size = cfg.batch_size.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let d = depth.fetch_sub(batch.len() as i64, Ordering::Relaxed) - batch.len() as i64;
+        alss_telemetry::gauge("serve.queue_depth").set(d);
+        alss_telemetry::histogram("serve.batch_size").record(batch.len() as u64);
+
+        let _span = alss_telemetry::Span::enter("serve.batch");
+        let drained = Instant::now();
+        let outcomes: Vec<Outcome> = par_map(cfg.parallelism, &batch, |_, job| {
+            let expired = job
+                .deadline
+                .is_some_and(|d| drained.saturating_duration_since(job.enqueued) >= d);
+            match model {
+                Some(sketch) if !expired => model_outcome(sketch, &job.graph),
+                _ => fallback_outcome(&wj, &job.graph, job.key.hash),
+            }
+        });
+
+        for (job, out) in batch.iter().zip(&outcomes) {
+            if out.degraded {
+                alss_telemetry::counter("serve.degraded").inc();
+            } else {
+                cache.insert(
+                    job.key,
+                    CachedEstimate {
+                        log10: out.log10,
+                        magnitude_class: out.magnitude_class,
+                    },
+                );
+            }
+            // A handler that gave up (client hung up) is not an error.
+            let _ = job.reply.send(*out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alss_graph::builder::graph_from_edges;
+    use alss_graph::canonical_key;
+    use std::sync::mpsc;
+
+    fn data_graph() -> Graph {
+        graph_from_edges(&[0, 0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    }
+
+    fn submit_query(
+        batcher: &Batcher,
+        q: &Graph,
+        deadline: Option<Duration>,
+    ) -> mpsc::Receiver<Outcome> {
+        let (tx, rx) = sync_channel(1);
+        batcher
+            .submit(Job {
+                id: 1,
+                graph: q.clone(),
+                key: canonical_key(q),
+                enqueued: Instant::now(),
+                deadline,
+                reply: tx,
+            })
+            .expect("submit");
+        rx
+    }
+
+    #[test]
+    fn modelless_batcher_answers_degraded() {
+        let cache = Arc::new(ShardedLru::new(8, 2));
+        let batcher = Batcher::spawn(
+            None,
+            data_graph(),
+            Arc::clone(&cache),
+            BatchConfig::default(),
+        )
+        .expect("spawn");
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let out = submit_query(&batcher, &q, None).recv().expect("reply");
+        assert!(out.degraded);
+        assert!(out.log10 >= 0.0);
+        assert!(cache.is_empty(), "degraded answers are not cached");
+    }
+
+    #[test]
+    fn zero_deadline_forces_fallback_and_same_query_is_deterministic() {
+        let cache = Arc::new(ShardedLru::new(8, 2));
+        let batcher = Batcher::spawn(
+            None,
+            data_graph(),
+            Arc::clone(&cache),
+            BatchConfig::default(),
+        )
+        .expect("spawn");
+        let q = graph_from_edges(&[0, 0, 1], &[(0, 1), (1, 2)]);
+        let a = submit_query(&batcher, &q, Some(Duration::ZERO))
+            .recv()
+            .expect("reply");
+        let b = submit_query(&batcher, &q, Some(Duration::ZERO))
+            .recv()
+            .expect("reply");
+        assert!(a.degraded && b.degraded);
+        assert_eq!(a.log10.to_bits(), b.log10.to_bits());
+    }
+}

@@ -1,0 +1,195 @@
+//! Sharded LRU cache over canonical query keys.
+//!
+//! The cache is keyed by [`CanonicalKey`], so any isomorphic re-numbering
+//! of an already-answered query is a hit. Sharding bounds lock contention:
+//! a key's shard is a function of its canonical hash, each shard is an
+//! independently locked LRU with its own capacity slice, and the global
+//! capacity bound is the sum of the shard bounds.
+//!
+//! Only full-quality model estimates are cached — degraded fallback
+//! answers are cheap to recompute and must not shadow a later model
+//! answer for the same query.
+
+use alss_graph::CanonicalKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached estimate: everything needed to rebuild a response without
+/// touching the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedEstimate {
+    /// `log10 ĉ(q)` as the model produced it.
+    pub log10: f64,
+    /// Count-magnitude class (argmax of the posterior).
+    pub magnitude_class: u64,
+}
+
+struct Shard {
+    map: HashMap<CanonicalKey, (CachedEstimate, u64)>,
+    capacity: usize,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries until within capacity. Linear
+    /// scan per eviction: shards stay small (capacity / num_shards), and
+    /// eviction happens at most once per insert.
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    self.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A sharded, capacity-bounded LRU estimate cache. `Send + Sync`; all
+/// methods take `&self`.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    /// Global recency clock; strictly increasing across all shards.
+    clock: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache holding at most `capacity` entries spread over `shards`
+    /// locks (both clamped to ≥ 1). Per-shard capacity is
+    /// `ceil(capacity / shards)`, so the global bound is respected up to
+    /// rounding.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &CanonicalKey) -> &Mutex<Shard> {
+        // High bits: the canonical hash's low bits feed HashMap bucketing.
+        let idx = (key.hash >> 48) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Look up a canonical key, refreshing its recency on a hit.
+    pub fn get(&self, key: &CanonicalKey) -> Option<CachedEstimate> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self
+            .shard_for(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (value, last_used) = shard.map.get_mut(key)?;
+        *last_used = tick;
+        Some(*value)
+    }
+
+    /// Insert (or refresh) an estimate, evicting the least-recently-used
+    /// entries of the shard if it is full.
+    pub fn insert(&self, key: CanonicalKey, value: CachedEstimate) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.map.insert(key, (value, tick));
+        shard.evict_to_capacity();
+    }
+
+    /// Current number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured global capacity bound (sum of shard bounds).
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .capacity
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64) -> CanonicalKey {
+        CanonicalKey {
+            nodes: 3,
+            edges: 2,
+            hash: h,
+        }
+    }
+
+    fn val(x: f64) -> CachedEstimate {
+        CachedEstimate {
+            log10: x,
+            magnitude_class: 1,
+        }
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let c = ShardedLru::new(8, 2);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), val(0.5));
+        assert_eq!(c.get(&key(1)), Some(val(0.5)));
+        assert!(c.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_lru_evicts_oldest() {
+        // One shard, capacity 2: inserting a third key evicts the LRU one.
+        let c = ShardedLru::new(2, 1);
+        c.insert(key(1), val(1.0));
+        c.insert(key(2), val(2.0));
+        assert!(c.get(&key(1)).is_some()); // refresh 1 → 2 is now LRU
+        c.insert(key(3), val(3.0));
+        assert!(c.len() <= 2);
+        assert!(c.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let c = ShardedLru::new(4, 4);
+        c.insert(key(9), val(1.0));
+        c.insert(key(9), val(2.0));
+        assert_eq!(c.get(&key(9)), Some(val(2.0)));
+        assert_eq!(c.len(), 1);
+    }
+}

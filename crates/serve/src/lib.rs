@@ -1,0 +1,42 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! `alss-serve` — batched estimate serving for the learned sketch.
+//!
+//! A std-only, multi-threaded TCP server that loads a trained
+//! [`LearnedSketch`](alss_core::LearnedSketch) checkpoint and answers
+//! subgraph-count estimate requests over newline-delimited JSON:
+//!
+//! * **Canonical caching** — queries are keyed by the 1-WL canonical hash
+//!   from `alss_graph::canon`, so isomorphic re-submissions of an
+//!   already-answered query hit a sharded LRU cache without touching the
+//!   model ([`cache`]).
+//! * **Micro-batching** — requests flow through a bounded queue into
+//!   model-forward batches executed over the shared `Parallelism` pool,
+//!   preserving per-request ordering and the workspace determinism
+//!   contract ([`batch`]).
+//! * **Graceful degradation** — per-request deadlines; an expired deadline
+//!   or an unloadable checkpoint falls back to a deterministic Wander-Join
+//!   estimate tagged `degraded:true` ([`engine`]). Transient checkpoint
+//!   read failures are retried with bounded exponential backoff.
+//! * **Telemetry** — serve spans, queue-depth gauge, cache hit/miss
+//!   counters, and a latency histogram, all behind the workspace
+//!   `telemetry` feature gate.
+//!
+//! The wire protocol is documented in [`proto`]; [`client`] provides a
+//! blocking client plus the load generator used by the e2e tests and the
+//! CI smoke gate.
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod obs;
+pub mod proto;
+pub mod server;
+
+pub use batch::{BatchConfig, Batcher, Job};
+pub use cache::{CachedEstimate, ShardedLru};
+pub use client::{run_load, Client, LoadReport};
+pub use engine::{load_sketch_with_retry, magnitude_class_of, Outcome};
+pub use obs::{init_telemetry, TelemetryGuard};
+pub use proto::{Request, Response};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,77 @@
+//! Telemetry wiring for the serve/query CLI entry points.
+//!
+//! Mirrors the figure-binary harness in `alss-bench` but takes explicit
+//! values instead of re-parsing `std::env::args`, since the `alss` CLI has
+//! its own flag parser. Keep the returned guard alive for the whole run:
+//! on drop it emits a final metrics-registry snapshot and flushes, so a
+//! JSONL capture always ends with the aggregate counters.
+
+use alss_telemetry::{Category, JsonLinesSink};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Keeps the sink installed; emits the final snapshot and flushes on drop.
+pub struct TelemetryGuard {
+    active: bool,
+}
+
+impl TelemetryGuard {
+    /// `true` when a capture sink is installed.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if self.active {
+            alss_telemetry::emit_snapshot();
+            alss_telemetry::flush();
+        }
+    }
+}
+
+/// Set up telemetry for a serve-side binary named `topic`.
+///
+/// * `capture`: install a JSON-lines file sink at this path; the recording
+///   mask comes from `ALSS_TELEMETRY`, defaulting to everything.
+/// * Without `capture`, `ALSS_TELEMETRY` alone installs the stderr sink.
+/// * `threads`: override the global worker-pool size (`Some(n > 0)`).
+/// * Built without `--features telemetry`, the capture path is
+///   acknowledged with a warning and ignored — probes are compiled out.
+pub fn init_telemetry(
+    topic: &str,
+    capture: Option<&str>,
+    threads: Option<usize>,
+) -> TelemetryGuard {
+    if let Some(n) = threads.filter(|&n| n > 0) {
+        alss_core::set_global_threads(n);
+        alss_telemetry::progress(topic, &format!("threads: {n}"));
+    }
+    match capture {
+        Some(path) => {
+            if !alss_telemetry::compiled_in() {
+                alss_telemetry::progress(
+                    topic,
+                    "--telemetry ignored: binary built without --features telemetry",
+                );
+                return TelemetryGuard { active: false };
+            }
+            match JsonLinesSink::create(Path::new(path)) {
+                Ok(sink) => {
+                    let mask = alss_telemetry::mask_from_env().unwrap_or(Category::ALL);
+                    alss_telemetry::install(Arc::new(sink), mask);
+                    TelemetryGuard { active: true }
+                }
+                Err(e) => {
+                    alss_telemetry::progress(topic, &format!("cannot open {path}: {e}"));
+                    TelemetryGuard { active: false }
+                }
+            }
+        }
+        None => {
+            alss_telemetry::init_from_env();
+            TelemetryGuard { active: false }
+        }
+    }
+}

@@ -12,6 +12,12 @@
 //! alss evaluate  --sketch sketch.json --workload workload.json
 //! alss stats     --graph graph.txt
 //! alss decompose --query query.txt [--hops 3]
+//! alss serve     --graph graph.txt [--sketch sketch.json] [--addr 127.0.0.1:0]
+//!                [--port-file p] [--cache N] [--shards N] [--batch N]
+//!                [--queue N] [--threads N] [--telemetry out.jsonl]
+//! alss query     --addr host:port (--query q.txt | --op ping|stats|shutdown)
+//!                [--deadline-ms N]
+//! alss loadgen   --addr host:port --query q.txt [--rounds N] [--deadline-ms N]
 //! ```
 //!
 //! Graphs use the line-oriented text format of `alss::graph::io`
@@ -28,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: alss <generate|workload|train|estimate|count|evaluate|stats|decompose> \
+        "usage: alss <generate|workload|train|estimate|count|evaluate|stats|decompose|serve|query|loadgen> \
          [--flag value ...]\nrun `alss help` or see the crate docs for details"
     );
     ExitCode::FAILURE
@@ -284,6 +290,98 @@ fn cmd_decompose(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let threads: usize = args.parsed("threads", 0)?;
+    let _guard = alss::serve::init_telemetry("serve", args.get("telemetry"), Some(threads));
+    let cfg = alss::serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        data_path: args.require("graph")?.into(),
+        model_path: args.get("sketch").map(Into::into),
+        cache_capacity: args.parsed("cache", 4096)?,
+        cache_shards: args.parsed("shards", 8)?,
+        batch: alss::serve::BatchConfig {
+            batch_size: args.parsed("batch", 16)?,
+            queue_cap: args.parsed("queue", 1024)?,
+            parallelism: if threads > 0 {
+                alss::core::Parallelism::fixed(threads)
+            } else {
+                alss::core::Parallelism::auto()
+            },
+            wj_samples: args.parsed("wj-samples", 64)?,
+        },
+        ..alss::serve::ServeConfig::default()
+    };
+    let handle = alss::serve::serve(&cfg)?;
+    println!("listening on {}", handle.addr);
+    if let Some(port_file) = args.get("port-file") {
+        // Written after bind: pollers that see the file can connect.
+        std::fs::write(port_file, handle.addr.to_string())
+            .map_err(|e| format!("write {port_file}: {e}"))?;
+    }
+    handle.join(); // blocks until a client sends `shutdown`
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client = alss::serve::Client::connect(addr, std::time::Duration::from_secs(5))?;
+    let op = args.get("op").unwrap_or("estimate");
+    let req = match op {
+        "estimate" => {
+            let path = args.require("query")?;
+            let query = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let deadline: i64 = args.parsed("deadline-ms", -1)?;
+            alss::serve::Request::estimate(
+                args.parsed("id", 1)?,
+                query,
+                u64::try_from(deadline).ok(),
+            )
+        }
+        "ping" | "stats" | "shutdown" => alss::serve::Request::control(op),
+        other => {
+            return Err(format!(
+                "unknown op '{other}' (estimate|ping|stats|shutdown)"
+            ))
+        }
+    };
+    let resp = client.call(&req)?;
+    println!("{}", alss::serve::proto::to_line(&resp)?);
+    if resp.ok {
+        Ok(())
+    } else {
+        Err(resp.error)
+    }
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let queries: Vec<String> = args
+        .require("query")?
+        .split(',')
+        .map(|p| {
+            let p = p.trim();
+            std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rounds: u32 = args.parsed("rounds", 1)?;
+    let deadline: i64 = args.parsed("deadline-ms", -1)?;
+    let report = alss::serve::run_load(addr, &queries, rounds, u64::try_from(deadline).ok())?;
+    println!(
+        "sent {} | ok {} | cached {} | degraded {} | failed {} | mean latency {}us",
+        report.sent,
+        report.ok,
+        report.cached,
+        report.degraded,
+        report.failed,
+        report.mean_latency_us
+    );
+    if report.failed > 0 {
+        return Err(format!("{} request(s) failed", report.failed));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -305,6 +403,9 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args),
         "stats" => cmd_stats(&args),
         "decompose" => cmd_decompose(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
+        "loadgen" => cmd_loadgen(&args),
         "help" | "--help" | "-h" => {
             return usage();
         }

@@ -17,7 +17,9 @@
 //! * [`core`] — **LSS + AL**, the paper's contribution
 //!   ([`core::LearnedSketch`] is the one-call facade);
 //! * [`ghd`] — GHD query optimization with AGM vs learned costing (§6.6);
-//! * [`datasets`] — synthetic Table 2 analogues and Table 3 workloads.
+//! * [`datasets`] — synthetic Table 2 analogues and Table 3 workloads;
+//! * [`serve`] — the batched TCP estimate server with canonical-query
+//!   caching and deadline fallback (`alss serve` / `alss query`).
 //!
 //! ## Quickstart
 //!
@@ -75,3 +77,4 @@ pub use alss_ghd as ghd;
 pub use alss_graph as graph;
 pub use alss_matching as matching;
 pub use alss_nn as nn;
+pub use alss_serve as serve;
